@@ -1,0 +1,154 @@
+package dbcatcher
+
+import (
+	"testing"
+)
+
+func TestEndToEndOfflineDetection(t *testing.T) {
+	u, err := SimulateUnit(UnitConfig{Name: "api", Ticks: 400, Seed: 1,
+		Profile: TencentIrregular, FluctuationRate: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, err := InjectAnomalies(u, []AnomalyEvent{
+		{Type: Stall, DB: 2, Start: 160, Length: 40, Magnitude: 0.9},
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verdicts, err := DetectSeries(u.Series, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit := false
+	for _, v := range verdicts {
+		if v.Abnormal && v.Start < 200 && v.Start+v.Size > 160 {
+			hit = true
+			if v.AbnormalDB != 2 {
+				t.Errorf("flagged db %d, want 2", v.AbnormalDB)
+			}
+		}
+	}
+	if !hit {
+		t.Fatal("stall missed through the public API")
+	}
+	_ = labels
+}
+
+func TestEndToEndStreamingDetection(t *testing.T) {
+	u, err := SimulateUnit(UnitConfig{Name: "api", Ticks: 300, Seed: 3,
+		Profile: SysbenchI, FluctuationRate: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := InjectAnomalies(u, []AnomalyEvent{
+		{Type: Stall, DB: 1, Start: 120, Length: 40, Magnitude: 0.9},
+	}, 4); err != nil {
+		t.Fatal(err)
+	}
+	det, err := NewDetector(Config{Databases: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sample := make([][]float64, KPICount)
+	for k := range sample {
+		sample[k] = make([]float64, 5)
+	}
+	found := false
+	for tick := 0; tick < 300; tick++ {
+		for k := 0; k < KPICount; k++ {
+			for d := 0; d < 5; d++ {
+				sample[k][d] = u.Series.Data[k][d].At(tick)
+			}
+		}
+		v, err := det.Push(sample)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != nil && v.Abnormal && v.AbnormalDB == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("streaming detector missed the stall")
+	}
+}
+
+func TestLearnThresholdsPublicAPI(t *testing.T) {
+	u, err := SimulateUnit(UnitConfig{Name: "api", Ticks: 500, Seed: 5, Profile: TPCCI})
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, err := InjectAnomalies(u, []AnomalyEvent{
+		{Type: Spike, DB: 0, Start: 100, Length: 30, Magnitude: 2},
+		{Type: Stall, DB: 3, Start: 300, Length: 30, Magnitude: 0.9},
+	}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, f, err := LearnThresholds([]LabelledUnit{{Series: u.Series, Labels: labels}}, FlexConfig{}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(th.Alpha) != KPICount {
+		t.Fatalf("learned %d alphas", len(th.Alpha))
+	}
+	if f <= 0 {
+		t.Fatalf("training F = %v", f)
+	}
+	det, err := NewDetector(Config{Databases: 5, Thresholds: th})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := det.Thresholds(); got.Theta != th.Theta {
+		t.Fatal("thresholds not applied")
+	}
+}
+
+func TestKCDFacade(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5, 4, 3, 2, 1, 2}
+	if got := KCD(x, x); got < 0.999 {
+		t.Fatalf("KCD(x, x) = %v", got)
+	}
+}
+
+func TestGenerateDatasetFacade(t *testing.T) {
+	ds, err := GenerateDataset(DatasetConfig{Units: 2, Ticks: 200, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Units) != 2 {
+		t.Fatalf("units = %d", len(ds.Units))
+	}
+}
+
+func TestDetectorRejectsBadConfig(t *testing.T) {
+	bad := Config{Databases: 5}
+	bad.Flex = FlexConfig{Initial: 50, Max: 10}
+	if _, err := NewDetector(bad); err == nil {
+		t.Fatal("invalid flex config should be rejected")
+	}
+}
+
+func TestExplainWindowFacade(t *testing.T) {
+	u, err := SimulateUnit(UnitConfig{Name: "x", Ticks: 160, Seed: 8,
+		Profile: TencentIrregular, FluctuationRate: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := InjectAnomalies(u, []AnomalyEvent{
+		{Type: Stall, DB: 1, Start: 100, Length: 40, Magnitude: 0.9},
+	}, 9); err != nil {
+		t.Fatal(err)
+	}
+	exps, err := ExplainWindow(u.Series, Config{}, 100, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exps[1].State != Abnormal {
+		t.Fatalf("db1 state = %v", exps[1].State)
+	}
+	if len(exps[1].Culprits()) == 0 {
+		t.Fatal("no culprit KPIs named")
+	}
+}

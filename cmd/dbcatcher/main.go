@@ -1,0 +1,171 @@
+// Command dbcatcher runs offline DBCatcher detection over a labelled
+// dataset: generate (or load) a dataset, optionally learn thresholds on
+// the training half with the genetic algorithm, detect on the testing
+// half, and print window-level metrics per unit and overall.
+//
+// Usage:
+//
+//	dbcatcher -family tencent -units 8 -ticks 1200 -seed 1 -learn
+//	dbcatcher -load dataset.json.gz
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dbcatcher/internal/baselines"
+	"dbcatcher/internal/dataset"
+	"dbcatcher/internal/detect"
+	"dbcatcher/internal/kpi"
+	"dbcatcher/internal/metrics"
+	"dbcatcher/internal/rootcause"
+	"dbcatcher/internal/tracefile"
+	"dbcatcher/internal/window"
+)
+
+func main() {
+	var (
+		family  = flag.String("family", "tencent", "dataset family: tencent, sysbench, tpcc")
+		units   = flag.Int("units", 8, "number of units to generate")
+		ticks   = flag.Int("ticks", 1200, "points per series (5 s apart)")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		load    = flag.String("load", "", "load a dataset saved by datagen instead of generating")
+		trace   = flag.String("trace", "", "detect over a CSV unit trace (tracefile format); skips dataset mode")
+		learn   = flag.Bool("learn", true, "learn thresholds on the training half (GA); otherwise use defaults")
+		split   = flag.Float64("split", 0.5, "train/test split fraction")
+		verbose = flag.Bool("v", false, "print per-unit results")
+		explain = flag.Bool("explain", false, "print incident reports with culprit KPIs")
+	)
+	flag.Parse()
+
+	if *trace != "" {
+		if err := runTrace(*trace, *explain); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	ds, err := obtainDataset(*load, *family, *units, *ticks, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	st := ds.Stats()
+	fmt.Printf("dataset %s: %d units, %d dims, %d points, %.2f%% abnormal\n",
+		st.Name, st.Units, st.Dimensions, st.TotalPoints, 100*st.AbnormalRatio)
+
+	train, test, err := ds.Split(*split)
+	if err != nil {
+		fatal(err)
+	}
+
+	th := window.DefaultThresholds(kpi.Count)
+	if *learn {
+		fmt.Println("learning thresholds on the training half (genetic algorithm)...")
+		m := baselines.NewDBCatcherMethod()
+		info, err := m.Train(train.Units, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		th = m.Thresholds()
+		fmt.Printf("learned in %.2fs: train F=%.3f, theta=%.3f, tolerance=%d\n",
+			info.Duration.Seconds(), info.BestF, th.Theta, th.MaxTolerance)
+	}
+
+	var total metrics.Confusion
+	var sizeSum float64
+	var sizeN int
+	for _, u := range test.Units {
+		verdicts, _, err := detect.Run(u.Unit.Series, detect.Config{Thresholds: th})
+		if err != nil {
+			fatal(err)
+		}
+		c, err := detect.Evaluate(verdicts, u.Labels)
+		if err != nil {
+			fatal(err)
+		}
+		total.Merge(c)
+		for _, v := range verdicts {
+			sizeSum += float64(v.Size)
+			sizeN++
+		}
+		if *verbose {
+			fmt.Printf("  %-24s %s diag=%.2f\n", u.Unit.Config.Name, c,
+				detect.DiagnosisAccuracy(verdicts, u.Labels))
+		}
+		if *explain {
+			provider := detect.NewProvider(u.Unit.Series, nil, nil)
+			incidents, err := rootcause.Analyze(provider, detect.Config{Thresholds: th}, verdicts, 0)
+			if err != nil {
+				fatal(err)
+			}
+			for _, inc := range incidents {
+				fmt.Printf("    incident: %s\n", inc)
+			}
+		}
+	}
+	fmt.Printf("test result: %s\n", total)
+	if sizeN > 0 {
+		fmt.Printf("average window size: %.1f points (%.0f s of data per verdict)\n",
+			sizeSum/float64(sizeN), sizeSum/float64(sizeN)*5)
+	}
+}
+
+// runTrace detects over an unlabelled CSV trace and prints verdicts and
+// incident reports.
+func runTrace(path string, explain bool) error {
+	u, err := tracefile.ReadFile(path, "trace")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trace: %d databases, %d points (%.1f min of monitoring data)\n",
+		u.Databases, u.Len(), float64(u.Len()*5)/60)
+	th := window.DefaultThresholds(u.KPIs)
+	verdicts, _, err := detect.Run(u, detect.Config{Thresholds: th})
+	if err != nil {
+		return err
+	}
+	abnormal := 0
+	for _, v := range verdicts {
+		if v.Abnormal {
+			abnormal++
+			fmt.Printf("  ABNORMAL window [%d, %d): db=%d\n", v.Start, v.Start+v.Size, v.AbnormalDB)
+		}
+	}
+	fmt.Printf("%d windows judged, %d abnormal\n", len(verdicts), abnormal)
+	if explain {
+		provider := detect.NewProvider(u, nil, nil)
+		incidents, err := rootcause.Analyze(provider, detect.Config{Thresholds: th}, verdicts, 0)
+		if err != nil {
+			return err
+		}
+		for _, inc := range incidents {
+			fmt.Printf("  incident: %s\n", inc)
+		}
+	}
+	return nil
+}
+
+func obtainDataset(load, family string, units, ticks int, seed uint64) (*dataset.Dataset, error) {
+	if load != "" {
+		return dataset.Load(load)
+	}
+	var f dataset.Family
+	switch strings.ToLower(family) {
+	case "tencent":
+		f = dataset.Tencent
+	case "sysbench":
+		f = dataset.Sysbench
+	case "tpcc":
+		f = dataset.TPCC
+	default:
+		return nil, fmt.Errorf("unknown family %q", family)
+	}
+	return dataset.Generate(dataset.Config{Family: f, Units: units, Ticks: ticks, Seed: seed})
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dbcatcher:", err)
+	os.Exit(1)
+}

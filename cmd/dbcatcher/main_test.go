@@ -1,0 +1,24 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestObtainDatasetFamilies(t *testing.T) {
+	for _, fam := range []string{"tencent", "Sysbench", "TPCC"} {
+		ds, err := obtainDataset("", fam, 2, 100, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", fam, err)
+		}
+		if len(ds.Units) != 2 {
+			t.Fatalf("%s: %d units", fam, len(ds.Units))
+		}
+	}
+	if _, err := obtainDataset("", "nope", 2, 100, 1); err == nil {
+		t.Fatal("unknown family should error")
+	}
+	if _, err := obtainDataset(filepath.Join(t.TempDir(), "missing.json"), "", 0, 0, 0); err == nil {
+		t.Fatal("missing load path should error")
+	}
+}

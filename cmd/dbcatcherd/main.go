@@ -1,0 +1,159 @@
+// Command dbcatcherd is the online monitoring daemon: it simulates a
+// cloud-database unit (with optional injected anomalies), streams its KPI
+// samples through the DBCatcher detector, and serves status, verdicts, and
+// thresholds over HTTP.
+//
+// Usage:
+//
+//	dbcatcherd -addr :8080 -profile tencent-irregular -speedup 100
+//
+// Then:
+//
+//	curl localhost:8080/api/status
+//	curl localhost:8080/api/verdicts?limit=10
+//	curl localhost:8080/api/thresholds
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	"dbcatcher/internal/anomaly"
+	"dbcatcher/internal/cluster"
+	"dbcatcher/internal/detect"
+	"dbcatcher/internal/kpi"
+	"dbcatcher/internal/mathx"
+	"dbcatcher/internal/monitor"
+	"dbcatcher/internal/server"
+	"dbcatcher/internal/window"
+	"dbcatcher/internal/workload"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "HTTP listen address")
+		profile   = flag.String("profile", "tencent-irregular", "workload profile: tencent-irregular, tencent-periodic, sysbench-i, sysbench-ii, tpcc-i, tpcc-ii")
+		dbs       = flag.Int("dbs", 5, "databases in the unit")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		speedup   = flag.Float64("speedup", 100, "simulation speed multiplier (1 = real-time 5 s ticks)")
+		anomalies = flag.Float64("anomaly-ratio", 0.03, "fraction of abnormal ticks injected into the stream")
+		horizon   = flag.Int("horizon", 17280, "ticks to pre-simulate (default 24 h)")
+		foTick    = flag.Int("failover-tick", 0, "tick at which a failover promotes a replica (0 = none)")
+		foTarget  = flag.Int("failover-target", 1, "replica promoted at -failover-tick")
+	)
+	flag.Parse()
+
+	p, err := parseProfile(*profile)
+	if err != nil {
+		log.Fatalf("dbcatcherd: %v", err)
+	}
+	log.Printf("simulating unit: %d databases, profile %v, %d ticks", *dbs, p, *horizon)
+	simCfg := cluster.Config{
+		Name: "live", Databases: *dbs, Ticks: *horizon, Profile: p, Seed: *seed,
+	}
+	if *foTick > 0 {
+		simCfg.Failover = &cluster.Failover{Tick: *foTick, NewPrimary: *foTarget}
+		log.Printf("failover scheduled: db%d promoted at tick %d", *foTarget, *foTick)
+	}
+	u, err := cluster.Simulate(simCfg)
+	if err != nil {
+		log.Fatalf("dbcatcherd: %v", err)
+	}
+	var labels *anomaly.Labels
+	if *anomalies > 0 {
+		events := anomaly.GenerateSchedule(anomaly.ScheduleConfig{
+			Ticks: *horizon, Databases: *dbs, TargetRatio: *anomalies,
+		}, mathx.NewRNG(*seed+1))
+		labels, err = anomaly.Inject(u, events, mathx.NewRNG(*seed+2))
+		if err != nil {
+			log.Fatalf("dbcatcherd: %v", err)
+		}
+		log.Printf("injected %d anomaly episodes (%.1f%% of ticks)",
+			len(labels.Events), 100*labels.Ratio())
+	}
+
+	online, err := monitor.NewOnline(detect.Config{
+		Thresholds: window.DefaultThresholds(kpi.Count),
+	}, kpi.Count, *dbs)
+	if err != nil {
+		log.Fatalf("dbcatcherd: %v", err)
+	}
+	srv := server.New(online, "live", 512)
+
+	// Feeder: replay the simulated unit at the configured speed.
+	go func() {
+		interval := time.Duration(float64(5*time.Second) / *speedup)
+		sample := make([][]float64, kpi.Count)
+		for k := range sample {
+			sample[k] = make([]float64, *dbs)
+		}
+		for tick := 0; tick < *horizon; tick++ {
+			if *foTick > 0 && tick == *foTick {
+				// The detector follows the promotion so R-R KPIs are
+				// judged against the correct peer set.
+				if err := online.SetPrimary(*foTarget); err != nil {
+					log.Printf("failover: %v", err)
+				} else {
+					log.Printf("failover: detector now treats db%d as primary", *foTarget)
+				}
+			}
+			for k := 0; k < kpi.Count; k++ {
+				for d := 0; d < *dbs; d++ {
+					sample[k][d] = u.Series.Data[k][d].At(tick)
+				}
+			}
+			v, err := srv.Push(sample)
+			if err != nil {
+				log.Printf("push: %v", err)
+				return
+			}
+			if v != nil && v.Abnormal {
+				truth := ""
+				if labels != nil && tickAbnormal(labels, v.Start, v.Size) {
+					truth = " (matches injected anomaly)"
+				}
+				log.Printf("ABNORMAL verdict: window [%d, %d) db=%d%s",
+					v.Start, v.Start+v.Size, v.AbnormalDB, truth)
+			}
+			time.Sleep(interval)
+		}
+		log.Printf("replay finished after %d ticks", *horizon)
+	}()
+
+	log.Printf("listening on %s", *addr)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		log.Fatalf("dbcatcherd: %v", err)
+	}
+}
+
+func tickAbnormal(l *anomaly.Labels, start, size int) bool {
+	for t := start; t < start+size && t < len(l.Point); t++ {
+		if l.Point[t] {
+			return true
+		}
+	}
+	return false
+}
+
+func parseProfile(s string) (workload.Profile, error) {
+	switch strings.ToLower(s) {
+	case "tencent-irregular":
+		return workload.TencentIrregular, nil
+	case "tencent-periodic":
+		return workload.TencentPeriodic, nil
+	case "sysbench-i":
+		return workload.SysbenchI, nil
+	case "sysbench-ii":
+		return workload.SysbenchII, nil
+	case "tpcc-i":
+		return workload.TPCCI, nil
+	case "tpcc-ii":
+		return workload.TPCCII, nil
+	default:
+		return 0, fmt.Errorf("unknown profile %q", s)
+	}
+}

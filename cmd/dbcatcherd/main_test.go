@@ -1,0 +1,27 @@
+package main
+
+import (
+	"testing"
+
+	"dbcatcher/internal/workload"
+)
+
+func TestParseProfile(t *testing.T) {
+	cases := map[string]workload.Profile{
+		"tencent-irregular": workload.TencentIrregular,
+		"Tencent-Periodic":  workload.TencentPeriodic,
+		"sysbench-i":        workload.SysbenchI,
+		"sysbench-ii":       workload.SysbenchII,
+		"tpcc-i":            workload.TPCCI,
+		"TPCC-II":           workload.TPCCII,
+	}
+	for in, want := range cases {
+		got, err := parseProfile(in)
+		if err != nil || got != want {
+			t.Errorf("parseProfile(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parseProfile("nope"); err == nil {
+		t.Error("unknown profile should error")
+	}
+}

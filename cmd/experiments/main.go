@@ -1,0 +1,52 @@
+// Command experiments regenerates the paper's tables and figures against
+// the simulated datasets.
+//
+// Usage:
+//
+//	experiments -run figure8            # one experiment (figure + tables V, VI)
+//	experiments -run all -runs 5        # the whole evaluation, 5 runs each
+//	experiments -run tableIII -scale 1  # paper-sized datasets
+//	experiments -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dbcatcher/internal/experiments"
+)
+
+func main() {
+	var (
+		run    = flag.String("run", "all", "experiment to run (see -list)")
+		runs   = flag.Int("runs", 3, "repeated runs for mean/min/max (paper: 20)")
+		scale  = flag.Float64("scale", 0, "dataset scale toward the paper's Table III (1 = full)")
+		seed   = flag.Uint64("seed", 1, "random seed")
+		list   = flag.Bool("list", false, "list experiments and exit")
+		quiet  = flag.Bool("q", false, "suppress progress output")
+		format = flag.String("format", "table", "output format: table or csv")
+	)
+	flag.Parse()
+	if *list {
+		fmt.Println(strings.Join(experiments.Names(), "\n"))
+		return
+	}
+	cfg := experiments.Config{Runs: *runs, Scale: *scale, Seed: *seed}
+	if !*quiet {
+		cfg.Log = os.Stderr
+	}
+	tables, err := experiments.Run(*run, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	for _, t := range tables {
+		if *format == "csv" {
+			fmt.Println(t.CSV())
+		} else {
+			fmt.Println(t.Render())
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package dbcatcher_test
+
+import (
+	"fmt"
+
+	"dbcatcher"
+)
+
+// ExampleKCD shows the correlation measure on two trends that differ in
+// scale and carry a small collection delay: KCD sees through both.
+func ExampleKCD() {
+	// y is 10x-scaled x, delayed by one point.
+	x := []float64{1, 2, 4, 8, 9, 7, 4, 2, 1, 2, 4, 8}
+	y := []float64{20, 10, 20, 40, 80, 90, 70, 40, 20, 10, 20, 40}
+	fmt.Printf("KCD = %.2f\n", dbcatcher.KCD(x, y))
+	// Output: KCD = 0.98
+}
+
+// ExampleDetectSeries runs offline detection over a simulated unit with an
+// injected database stall.
+func ExampleDetectSeries() {
+	unit, err := dbcatcher.SimulateUnit(dbcatcher.UnitConfig{
+		Name: "example", Ticks: 200, Seed: 42,
+		Profile:         dbcatcher.TencentIrregular,
+		FluctuationRate: 1e-9,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	if _, err := dbcatcher.InjectAnomalies(unit, []dbcatcher.AnomalyEvent{
+		{Type: dbcatcher.Stall, DB: 2, Start: 100, Length: 40, Magnitude: 0.9},
+	}, 7); err != nil {
+		fmt.Println(err)
+		return
+	}
+	verdicts, err := dbcatcher.DetectSeries(unit.Series, dbcatcher.Config{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, v := range verdicts {
+		if v.Abnormal {
+			fmt.Printf("abnormal database %d in window [%d, %d)\n",
+				v.AbnormalDB, v.Start, v.Start+v.Size)
+		}
+	}
+	// Output:
+	// abnormal database 2 in window [100, 120)
+	// abnormal database 2 in window [120, 140)
+}

@@ -1,0 +1,88 @@
+// Storage fragmentation case study (paper Fig. 12): heavy delete/insert
+// churn fragments one database's storage, so its "Real Capacity" grows
+// much faster than its peers' — a level-1 anomaly on a critical KPI that
+// is easy to miss by eye and by per-series detectors, but obvious to
+// correlation measurement.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"dbcatcher"
+	"dbcatcher/internal/kpi"
+	"dbcatcher/internal/mathx"
+)
+
+func main() {
+	unit, err := dbcatcher.SimulateUnit(dbcatcher.UnitConfig{
+		Name:    "fragmentation",
+		Ticks:   480,
+		Seed:    21,
+		Profile: dbcatcher.TencentPeriodic,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	const target, start, length = 1, 200, 120
+	if _, err := dbcatcher.InjectAnomalies(unit, []dbcatcher.AnomalyEvent{
+		{Type: dbcatcher.Fragmentation, DB: target, Start: start, Length: length, Magnitude: 2.5},
+	}, 5); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("normalized Real Capacity trends (sparkline per database):")
+	for d := 0; d < 5; d++ {
+		vals := unit.Series.Data[kpi.RealCapacity][d].Values
+		marker := ""
+		if d == target {
+			marker = "  <- fragmenting"
+		}
+		fmt.Printf("  db%d %s%s\n", d, spark(mathx.Normalize(vals), 60), marker)
+	}
+
+	verdicts, err := dbcatcher.DetectSeries(unit.Series, dbcatcher.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nabnormal verdicts:")
+	for _, v := range verdicts {
+		if !v.Abnormal {
+			continue
+		}
+		fmt.Printf("  window [%3d, %3d): db=%d states=%v\n",
+			v.Start, v.Start+v.Size, v.AbnormalDB, v.States)
+	}
+	fmt.Println("\nThe fragmenting database's capacity curve bends away from the")
+	fmt.Println("unit trend at tick 200 — the Fig. 12 scenario.")
+}
+
+// spark renders a series as a unicode sparkline of the given width.
+func spark(v []float64, width int) string {
+	ramp := []rune("▁▂▃▄▅▆▇█")
+	if len(v) == 0 {
+		return ""
+	}
+	step := len(v) / width
+	if step < 1 {
+		step = 1
+	}
+	var b strings.Builder
+	for i := 0; i < len(v); i += step {
+		end := i + step
+		if end > len(v) {
+			end = len(v)
+		}
+		m := mathx.Mean(v[i:end])
+		idx := int(m * float64(len(ramp)-1))
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(ramp) {
+			idx = len(ramp) - 1
+		}
+		b.WriteRune(ramp[idx])
+	}
+	return b.String()
+}

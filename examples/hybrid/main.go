@@ -1,0 +1,79 @@
+// Hybrid detection: the paper concedes that DBCatcher "appears to be
+// powerless for multiple databases with simultaneous anomalies" because a
+// unit-wide incident leaves the UKPIC phenomenon intact, and suggests
+// combining it with existing methods (§V). This example shows exactly
+// that: a shared-storage outage hits every database at once, pure
+// DBCatcher stays silent, and the Hybrid (DBCatcher + Spectral Residual)
+// catches it without giving up DBCatcher's small windows.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dbcatcher/internal/anomaly"
+	"dbcatcher/internal/baselines"
+	"dbcatcher/internal/cluster"
+	"dbcatcher/internal/dataset"
+	"dbcatcher/internal/ensemble"
+	"dbcatcher/internal/mathx"
+	"dbcatcher/internal/workload"
+)
+
+func main() {
+	// Thresholds are learned under normal operation (single-database
+	// anomalies), as they would be in production.
+	trainDS, err := dataset.Generate(dataset.Config{
+		Family: dataset.Tencent, Units: 4, Ticks: 600, Seed: 11, AnomalyRatio: 0.05,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The incident: a unit-wide outage at tick 300 collapses throughput on
+	// ALL five databases simultaneously — their trends stay correlated.
+	rng := mathx.NewRNG(21)
+	var test []*dataset.UnitData
+	for i := 0; i < 3; i++ {
+		u, err := cluster.Simulate(cluster.Config{
+			Name: fmt.Sprintf("outage-%d", i), Ticks: 600, Seed: rng.Uint64(),
+			Profile: workload.TencentIrregular, FluctuationRate: 1e-9,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		labels, err := anomaly.Inject(u, []anomaly.Event{
+			{Type: anomaly.UnitOutage, Start: 300, Length: 40, Magnitude: 0.9},
+		}, rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		test = append(test, &dataset.UnitData{Unit: u, Labels: labels, Profile: workload.TencentIrregular})
+	}
+
+	pure := baselines.NewDBCatcherMethod()
+	if _, err := pure.Train(trainDS.Units, 1); err != nil {
+		log.Fatal(err)
+	}
+	pureRes, err := pure.Evaluate(test)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	hybrid := ensemble.NewHybrid()
+	if _, err := hybrid.Train(trainDS.Units, 1); err != nil {
+		log.Fatal(err)
+	}
+	hybridRes, err := hybrid.Evaluate(test)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("unit-wide outage (all 5 databases drop together):")
+	fmt.Printf("  pure DBCatcher:  recall %5.1f%%  (UKPIC preserved -> blind, as §V concedes)\n",
+		100*pureRes.Confusion.Recall())
+	fmt.Printf("  %s: recall %5.1f%%  avg window %.0f points\n",
+		hybrid.Name(), 100*hybridRes.Confusion.Recall(), hybridRes.AvgWindowSize)
+	fmt.Println("\nThe per-series fallback covers the correlation method's blind spot;")
+	fmt.Println("DBCatcher still provides the fast, localized verdicts elsewhere.")
+}

@@ -1,0 +1,70 @@
+// Load-balancer defect scenario (paper Fig. 4): a defective balancing
+// strategy concentrates SQL on one database; its read-side KPIs inflate
+// while the peers deflate, breaking the UKPIC phenomenon on exactly that
+// database. DBCatcher localizes the culprit.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dbcatcher"
+	"dbcatcher/internal/kpi"
+	"dbcatcher/internal/mathx"
+)
+
+func main() {
+	unit, err := dbcatcher.SimulateUnit(dbcatcher.UnitConfig{
+		Name:    "lb-defect",
+		Ticks:   480,
+		Seed:    11,
+		Profile: dbcatcher.TencentIrregular,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	const target, start, length = 2, 240, 80
+	if _, err := dbcatcher.InjectAnomalies(unit, []dbcatcher.AnomalyEvent{
+		{Type: dbcatcher.LoadBalanceDefect, DB: target, Start: start, Length: length, Magnitude: 1.8},
+	}, 3); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("mean Requests Per Second per database, before vs during the defect:")
+	for d := 0; d < 5; d++ {
+		vals := unit.Series.Data[kpi.RequestsPerSecond][d].Values
+		before := mathx.Mean(vals[start-length : start])
+		during := mathx.Mean(vals[start : start+length])
+		marker := ""
+		if d == target {
+			marker = "  <- defect target"
+		}
+		fmt.Printf("  db%d: %8.0f -> %8.0f req/s (%+.0f%%)%s\n",
+			d, before, during, 100*(during-before)/before, marker)
+	}
+
+	verdicts, err := dbcatcher.DetectSeries(unit.Series, dbcatcher.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nverdicts overlapping the defect window:")
+	caught := false
+	for _, v := range verdicts {
+		if v.Start+v.Size <= start || v.Start >= start+length {
+			continue
+		}
+		status := "healthy"
+		if v.Abnormal {
+			status = fmt.Sprintf("ABNORMAL db=%d", v.AbnormalDB)
+			if v.AbnormalDB == target {
+				caught = true
+			}
+		}
+		fmt.Printf("  window [%3d, %3d): %s\n", v.Start, v.Start+v.Size, status)
+	}
+	if caught {
+		fmt.Println("\nDBCatcher localized the defective-balancing target, as in Fig. 4.")
+	} else {
+		fmt.Println("\n(no verdict named the target this run; rerun with another -seed)")
+	}
+}

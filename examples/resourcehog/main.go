@@ -1,0 +1,64 @@
+// Resource-hog case study (paper Fig. 13): an e-commerce unit where one
+// database receives the same *number* of requests as its peers but each
+// request is far more expensive — CPU utilization and Innodb Rows Read
+// diverge while Total Requests stays aligned. Request-count monitoring
+// sees nothing; indicator correlation does.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dbcatcher"
+	"dbcatcher/internal/kpi"
+	"dbcatcher/internal/mathx"
+)
+
+func main() {
+	unit, err := dbcatcher.SimulateUnit(dbcatcher.UnitConfig{
+		Name:    "resource-hog",
+		Ticks:   480,
+		Seed:    31,
+		Profile: dbcatcher.TencentIrregular,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	const target, start, length = 1, 240, 60
+	if _, err := dbcatcher.InjectAnomalies(unit, []dbcatcher.AnomalyEvent{
+		{Type: dbcatcher.ResourceHog, DB: target, Start: start, Length: length, Magnitude: 1.2},
+	}, 9); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("during the episode (means over the affected window):")
+	fmt.Printf("  %-4s %16s %16s %16s\n", "db", "Total Requests", "CPU Utilization", "Rows Read")
+	for d := 0; d < 5; d++ {
+		req := mathx.Mean(unit.Series.Data[kpi.TotalRequests][d].Values[start : start+length])
+		cpu := mathx.Mean(unit.Series.Data[kpi.CPUUtilization][d].Values[start : start+length])
+		rows := mathx.Mean(unit.Series.Data[kpi.InnodbRowsRead][d].Values[start : start+length])
+		marker := ""
+		if d == target {
+			marker = "  <- hog"
+		}
+		fmt.Printf("  db%-3d %16.0f %15.1f%% %16.0f%s\n", d, req, cpu, rows, marker)
+	}
+
+	verdicts, err := dbcatcher.DetectSeries(unit.Series, dbcatcher.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nverdicts overlapping the episode:")
+	for _, v := range verdicts {
+		if v.Start+v.Size <= start || v.Start >= start+length {
+			continue
+		}
+		status := "healthy"
+		if v.Abnormal {
+			status = fmt.Sprintf("ABNORMAL db=%d", v.AbnormalDB)
+		}
+		fmt.Printf("  window [%3d, %3d): %s\n", v.Start, v.Start+v.Size, status)
+	}
+	fmt.Println("\nRequests stayed balanced; only the resource KPIs betrayed db1 —")
+	fmt.Println("the Fig. 13 level-2 anomaly, caught through indicator correlation.")
+}

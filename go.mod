@@ -1,0 +1,3 @@
+module dbcatcher
+
+go 1.22

@@ -1,0 +1,459 @@
+// Package anomaly injects labelled abnormal episodes into simulated unit
+// series. The taxonomy follows the paper (§II-C, Fig. 4, Fig. 12, Fig. 13,
+// and the cited anomaly-type literature [4], [22], [27]): spikes, level
+// shifts, concept drift, stalls, defective load balancing, storage
+// fragmentation, and resource-hogging queries. Every injected event breaks
+// the UKPIC phenomenon on exactly one database, matching the paper's
+// single-abnormal-database assumption (§II-C).
+package anomaly
+
+import (
+	"fmt"
+
+	"dbcatcher/internal/cluster"
+	"dbcatcher/internal/kpi"
+	"dbcatcher/internal/mathx"
+)
+
+// Type enumerates the injected anomaly classes.
+type Type int
+
+const (
+	// Spike multiplies a few KPIs by a large factor with a triangular
+	// envelope (burst-style anomaly).
+	Spike Type = iota
+	// LevelShift offsets a few KPIs by a fraction of their local mean for
+	// the whole episode.
+	LevelShift
+	// ConceptDrift gradually scales a few KPIs, ramping from 1x to
+	// (1+magnitude)x over the episode.
+	ConceptDrift
+	// Stall collapses most KPIs toward zero (database hang / lock pileup).
+	Stall
+	// LoadBalanceDefect reroutes read traffic toward the target database
+	// (Fig. 4): its read-side KPIs inflate while the peers' deflate
+	// together, so only the target decorrelates.
+	LoadBalanceDefect
+	// Fragmentation makes the target's Real Capacity grow much faster than
+	// its peers' (Fig. 12 case study).
+	Fragmentation
+	// ResourceHog doubles CPU and rows-read on the target while request
+	// counts stay in line with peers (Fig. 13 case study).
+	ResourceHog
+	// UnitOutage hits EVERY database of the unit simultaneously (e.g. a
+	// shared-storage or network incident). The paper notes DBCatcher "
+	// appears to be powerless for multiple databases with simultaneous
+	// anomalies" (§V) — this type exists to demonstrate that limitation
+	// and the ensemble remedy. Event.DB is ignored.
+	UnitOutage
+
+	numTypes
+)
+
+// NumTypes is the number of anomaly classes.
+const NumTypes = int(numTypes)
+
+// String names the anomaly type.
+func (t Type) String() string {
+	switch t {
+	case Spike:
+		return "spike"
+	case LevelShift:
+		return "level-shift"
+	case ConceptDrift:
+		return "concept-drift"
+	case Stall:
+		return "stall"
+	case LoadBalanceDefect:
+		return "lb-defect"
+	case Fragmentation:
+		return "fragmentation"
+	case ResourceHog:
+		return "resource-hog"
+	case UnitOutage:
+		return "unit-outage"
+	default:
+		return fmt.Sprintf("Type(%d)", int(t))
+	}
+}
+
+// Event is one anomaly episode on one database of a unit.
+type Event struct {
+	Type   Type
+	DB     int // target database index
+	Start  int // first affected tick
+	Length int // number of affected ticks
+	// Magnitude scales the distortion; sensible values are 0.5-3 for
+	// multiplicative types and 0.5-0.95 for Stall.
+	Magnitude float64
+	// KPIs restricts the affected indicators; nil selects the type's
+	// default set (possibly randomized at injection time).
+	KPIs []kpi.KPI
+}
+
+// End returns the first tick after the episode.
+func (e Event) End() int { return e.Start + e.Length }
+
+// Labels is the ground truth produced by injection.
+type Labels struct {
+	// Point[t] reports whether any database of the unit is abnormal at
+	// tick t.
+	Point []bool
+	// DB[t] is the abnormal database at tick t, or -1.
+	DB []int
+	// Events keeps the injected schedule (with KPI sets resolved).
+	Events []Event
+}
+
+// NewLabels returns all-healthy labels for n ticks.
+func NewLabels(n int) *Labels {
+	l := &Labels{Point: make([]bool, n), DB: make([]int, n)}
+	for i := range l.DB {
+		l.DB[i] = -1
+	}
+	return l
+}
+
+// AbnormalCount returns the number of abnormal ticks.
+func (l *Labels) AbnormalCount() int {
+	n := 0
+	for _, b := range l.Point {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// Ratio returns the fraction of abnormal ticks.
+func (l *Labels) Ratio() float64 {
+	if len(l.Point) == 0 {
+		return 0
+	}
+	return float64(l.AbnormalCount()) / float64(len(l.Point))
+}
+
+// readKPIs are the indicators driven by read routing, used by
+// LoadBalanceDefect.
+var readKPIs = []kpi.KPI{
+	kpi.RequestsPerSecond, kpi.TotalRequests, kpi.BufferPoolReadRequests,
+	kpi.InnodbRowsRead, kpi.CPUUtilization,
+}
+
+// Inject applies the events to the unit's series in place and returns the
+// ground-truth labels. Events must fit within the series and target a
+// valid database; overlapping events are allowed (the labels merge).
+func Inject(u *cluster.Unit, events []Event, rng *mathx.RNG) (*Labels, error) {
+	n := u.Series.Len()
+	labels := NewLabels(n)
+	for i, e := range events {
+		if e.DB < 0 || e.DB >= u.Series.Databases {
+			return nil, fmt.Errorf("anomaly: event %d targets database %d of %d", i, e.DB, u.Series.Databases)
+		}
+		if e.Start < 0 || e.Length <= 0 || e.End() > n {
+			return nil, fmt.Errorf("anomaly: event %d range [%d, %d) outside %d ticks", i, e.Start, e.End(), n)
+		}
+		if e.Magnitude <= 0 {
+			return nil, fmt.Errorf("anomaly: event %d has non-positive magnitude", i)
+		}
+		resolved := apply(u, e, rng)
+		labels.Events = append(labels.Events, resolved)
+		for t := e.Start; t < e.End(); t++ {
+			labels.Point[t] = true
+			labels.DB[t] = e.DB
+		}
+	}
+	return labels, nil
+}
+
+// apply mutates the series for one event and returns the event with its
+// KPI set resolved.
+func apply(u *cluster.Unit, e Event, rng *mathx.RNG) Event {
+	kpis := e.KPIs
+	if kpis == nil {
+		kpis = defaultKPIs(e.Type, rng)
+	}
+	e.KPIs = kpis
+	switch e.Type {
+	case Spike:
+		applySpike(u, e, rng)
+	case LevelShift:
+		applyLevelShift(u, e, rng)
+	case ConceptDrift:
+		applyDrift(u, e, rng)
+	case Stall:
+		applyStall(u, e, rng)
+	case LoadBalanceDefect:
+		applyLBDefect(u, e, rng)
+	case Fragmentation:
+		applyFragmentation(u, e)
+	case ResourceHog:
+		applyResourceHog(u, e, rng)
+	case UnitOutage:
+		applyUnitOutage(u, e, rng)
+	default:
+		panic(fmt.Sprintf("anomaly: unknown type %d", int(e.Type)))
+	}
+	return e
+}
+
+// defaultKPIs picks the indicator set a given anomaly class disturbs.
+func defaultKPIs(t Type, rng *mathx.RNG) []kpi.KPI {
+	switch t {
+	case Stall:
+		// Everything except the storage level collapses.
+		var out []kpi.KPI
+		for _, k := range kpi.All() {
+			if k != kpi.RealCapacity {
+				out = append(out, k)
+			}
+		}
+		return out
+	case LoadBalanceDefect:
+		out := make([]kpi.KPI, len(readKPIs))
+		copy(out, readKPIs)
+		return out
+	case Fragmentation:
+		return []kpi.KPI{kpi.RealCapacity, kpi.InnodbDataWritten}
+	case ResourceHog:
+		return []kpi.KPI{kpi.CPUUtilization, kpi.InnodbRowsRead}
+	case UnitOutage:
+		return []kpi.KPI{kpi.RequestsPerSecond, kpi.TotalRequests,
+			kpi.TransactionsPerSecond, kpi.CPUUtilization}
+	default: // Spike, LevelShift, ConceptDrift: 2-4 random KPIs
+		count := 2 + rng.Intn(3)
+		idx := rng.Sample(kpi.Count, count)
+		out := make([]kpi.KPI, count)
+		for i, v := range idx {
+			out[i] = kpi.KPI(v)
+		}
+		return out
+	}
+}
+
+func forEach(u *cluster.Unit, e Event, f func(vals []float64, k kpi.KPI)) {
+	for _, k := range e.KPIs {
+		s := u.Series.Data[k][e.DB]
+		f(s.Values[e.Start:e.End()], k)
+	}
+}
+
+// arSeries produces a positive AR(1) distortion envelope, the independent
+// process (lock storms, bad plans, fragmentation churn) that makes an
+// abnormal database stop tracking the unit demand. Its independence from
+// the shared demand is what breaks UKPIC.
+func arSeries(n int, phi float64, rng *mathx.RNG) []float64 {
+	out := make([]float64, n)
+	v := rng.Norm()
+	for i := range out {
+		v = phi*v + rng.NormMeanStd(0, 1)
+		out[i] = absF(v)
+	}
+	return out
+}
+
+// apply mutates with a per-event RNG split so injections stay independent.
+func applySpike(u *cluster.Unit, e Event, rng *mathx.RNG) {
+	forEach(u, e, func(vals []float64, k kpi.KPI) {
+		n := len(vals)
+		// An impulse train: sharp bursts on ~1/3 of the ticks, riding on a
+		// triangular envelope. Impulse placement is independent of demand,
+		// so the trend decorrelates from the peers'.
+		for i := range vals {
+			pos := float64(i) / float64(n-1+boolToInt(n == 1))
+			env := 1 - 2*absF(pos-0.5)
+			factor := 1 + 0.3*e.Magnitude*env
+			if rng.Bool(0.35) {
+				factor += e.Magnitude * (1 + rng.Float64())
+			}
+			vals[i] *= factor
+			clampKPI(vals, i, k)
+		}
+	})
+}
+
+func applyLevelShift(u *cluster.Unit, e Event, rng *mathx.RNG) {
+	forEach(u, e, func(vals []float64, k kpi.KPI) {
+		base := mathx.Mean(vals)
+		if base == 0 {
+			base = 1
+		}
+		shift := e.Magnitude * base
+		// The shifted regime also carries its own variability (the shift's
+		// cause — e.g. a runaway background job — is not demand-driven).
+		jitter := arSeries(len(vals), 0.7, rng)
+		for i := range vals {
+			vals[i] += shift * (1 + 0.4*jitter[i])
+			clampKPI(vals, i, k)
+		}
+	})
+}
+
+func applyDrift(u *cluster.Unit, e Event, rng *mathx.RNG) {
+	forEach(u, e, func(vals []float64, k kpi.KPI) {
+		n := len(vals)
+		jitter := arSeries(n, 0.8, rng)
+		base := mathx.Mean(vals)
+		for i := range vals {
+			progress := float64(i+1) / float64(n)
+			// Drift both scales the series and adds an absolute ramp, so
+			// the trend bends away from the peers' instead of merely
+			// stretching.
+			vals[i] = vals[i]*(1+0.5*e.Magnitude*progress) +
+				base*e.Magnitude*progress*(0.5+0.2*jitter[i])
+			clampKPI(vals, i, k)
+		}
+	})
+}
+
+// applyStall collapses the affected KPIs to a flat residual floor. A hung
+// database stops tracking demand entirely, so the series loses its trend
+// (not just its level — a pure rescale would be invisible to the
+// scale-invariant KCD).
+func applyStall(u *cluster.Unit, e Event, rng *mathx.RNG) {
+	keep := 1 - e.Magnitude
+	if keep < 0 {
+		keep = 0
+	}
+	forEach(u, e, func(vals []float64, k kpi.KPI) {
+		floor := keep * mathx.Mean(vals)
+		for i := range vals {
+			vals[i] = floor * (1 + 0.05*rng.Norm())
+			clampKPI(vals, i, k)
+		}
+	})
+}
+
+func applyLBDefect(u *cluster.Unit, e Event, rng *mathx.RNG) {
+	// A defective strategy keeps remapping SQL toward the target: the
+	// skew ramps up and wanders (hash imbalance follows key popularity,
+	// not unit demand), so the target's trend bends away from its peers
+	// while the peers deflate together and stay mutually correlated.
+	nDB := u.Series.Databases
+	n := e.Length
+	skew := make([]float64, n)
+	jitter := arSeries(n, 0.85, rng)
+	for i := range skew {
+		progress := float64(i+1) / float64(n)
+		// The defect bites immediately and worsens as popular keys pile up.
+		skew[i] = e.Magnitude * (0.3 + 0.7*progress) * (0.6 + 0.3*jitter[i])
+	}
+	loss := func(i int) float64 { return minF(skew[i]/float64(nDB-1)/(1+e.Magnitude), 0.9) }
+	for _, k := range e.KPIs {
+		for d := 0; d < nDB; d++ {
+			vals := u.Series.Data[k][d].Values[e.Start:e.End()]
+			for i := range vals {
+				if d == e.DB {
+					vals[i] *= 1 + skew[i]
+				} else {
+					vals[i] *= 1 - loss(i)
+				}
+				clampKPI(vals, i, k)
+			}
+		}
+	}
+}
+
+func applyFragmentation(u *cluster.Unit, e Event) {
+	forEach(u, e, func(vals []float64, k kpi.KPI) {
+		if k != kpi.RealCapacity {
+			// Extra write churn from the delete/insert pattern.
+			for i := range vals {
+				vals[i] *= 1 + 0.5*e.Magnitude
+			}
+			return
+		}
+		// Capacity ramps away from the unit trend and stays shifted:
+		// fragmentation is not reclaimed when the episode "ends".
+		n := len(vals)
+		base := vals[0]
+		if base == 0 {
+			base = 1
+		}
+		extraPerTick := e.Magnitude * base * 0.002
+		for i := range vals {
+			vals[i] += extraPerTick * float64(i+1)
+		}
+		// Propagate the final offset to the rest of the series.
+		tail := u.Series.Data[kpi.RealCapacity][e.DB].Values[e.End():]
+		offset := extraPerTick * float64(n)
+		for i := range tail {
+			tail[i] += offset
+		}
+	})
+}
+
+func applyResourceHog(u *cluster.Unit, e Event, rng *mathx.RNG) {
+	// Resource-consuming queries arrive on their own schedule: the CPU
+	// and rows-read inflation follows an independent bursty envelope
+	// (Fig. 13: Total Requests equal, resources diverge).
+	env := arSeries(e.Length, 0.8, rng)
+	forEach(u, e, func(vals []float64, k kpi.KPI) {
+		for i := range vals {
+			vals[i] *= 1 + e.Magnitude*(0.4+0.6*env[i])
+			clampKPI(vals, i, k)
+		}
+	})
+}
+
+// applyUnitOutage collapses the affected KPIs on every database at once:
+// all databases stay mutually correlated (they all flatten together), so
+// the UKPIC phenomenon is preserved and correlation measurement is blind
+// to it by design.
+func applyUnitOutage(u *cluster.Unit, e Event, rng *mathx.RNG) {
+	keep := 1 - mathx.Clamp(e.Magnitude, 0, 1)
+	// The residual activity during the outage is driven by the same shared
+	// cause on every database (retry storms against the broken dependency),
+	// so all databases keep tracking one shared envelope: UKPIC holds and
+	// correlation measurement stays blind.
+	shared := make([]float64, e.Length)
+	v := 0.0
+	for i := range shared {
+		v = 0.8*v + rng.NormMeanStd(0, 0.1)
+		shared[i] = 1 + v
+		if shared[i] < 0.1 {
+			shared[i] = 0.1
+		}
+	}
+	for _, k := range e.KPIs {
+		for d := 0; d < u.Series.Databases; d++ {
+			vals := u.Series.Data[k][d].Values[e.Start:e.End()]
+			floor := keep * mathx.Mean(vals)
+			for i := range vals {
+				vals[i] = floor * shared[i] * (1 + 0.005*rng.Norm())
+				clampKPI(vals, i, k)
+			}
+		}
+	}
+}
+
+// clampKPI re-applies physical bounds after distortion.
+func clampKPI(vals []float64, i int, k kpi.KPI) {
+	if k == kpi.CPUUtilization && vals[i] > 100 {
+		vals[i] = 100
+	}
+	if vals[i] < 0 {
+		vals[i] = 0
+	}
+}
+
+func absF(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,113 @@
+package baselines
+
+import (
+	"time"
+
+	"dbcatcher/internal/correlate"
+	"dbcatcher/internal/dataset"
+	"dbcatcher/internal/detect"
+	"dbcatcher/internal/metrics"
+	"dbcatcher/internal/thresholds"
+	"dbcatcher/internal/window"
+)
+
+// DBCatcherMethod adapts the full DBCatcher pipeline to the Method
+// interface so the experiment harness treats it uniformly with the
+// baselines: training runs the adaptive threshold learning (GA by
+// default) over the training units; evaluation runs the streaming
+// detector with the learned thresholds.
+type DBCatcherMethod struct {
+	// Flex configures the flexible window; zero value means the default
+	// W=20, W_M=60.
+	Flex window.FlexConfig
+	// Measure overrides the correlation measure (Table X ablations); nil
+	// means KCD.
+	Measure correlate.Measure
+	// Searcher overrides the threshold learner; nil means the GA.
+	Searcher thresholds.Searcher
+
+	learned window.Thresholds
+	ready   bool
+}
+
+// NewDBCatcherMethod returns the standard configuration (AMM-KCD).
+func NewDBCatcherMethod() *DBCatcherMethod { return &DBCatcherMethod{} }
+
+// Name implements Method.
+func (m *DBCatcherMethod) Name() string { return "DBCatcher" }
+
+func (m *DBCatcherMethod) flex() window.FlexConfig {
+	if m.Flex == (window.FlexConfig{}) {
+		return window.DefaultFlexConfig()
+	}
+	return m.Flex
+}
+
+// Train implements Method: learn thresholds on the training units via the
+// adaptive threshold policy, with correlation matrices memoized across
+// fitness evaluations.
+func (m *DBCatcherMethod) Train(train []*dataset.UnitData, seed uint64) (TrainInfo, error) {
+	start := time.Now()
+	var samples []thresholds.Sample
+	var q int
+	for _, u := range train {
+		q = u.Unit.Series.KPIs
+		samples = append(samples, thresholds.Sample{
+			Provider: detect.NewCachedProvider(detect.NewProvider(u.Unit.Series, m.Measure, nil)),
+			Labels:   u.Labels,
+		})
+	}
+	searcher := m.Searcher
+	if searcher == nil {
+		searcher = thresholds.GA{Seed: seed}
+	}
+	fitness := thresholds.DetectorFitness(samples, m.flex())
+	res := searcher.Search(q, fitness)
+	if err := res.Best.Validate(q); err != nil {
+		return TrainInfo{}, err
+	}
+	m.learned = res.Best
+	m.ready = true
+	return TrainInfo{
+		Duration:   time.Since(start),
+		BestF:      res.Fitness,
+		WindowSize: m.flex().Initial,
+	}, nil
+}
+
+// Evaluate implements Method.
+func (m *DBCatcherMethod) Evaluate(test []*dataset.UnitData) (Result, error) {
+	if !m.ready {
+		return Result{}, errNotTrained
+	}
+	var c metrics.Confusion
+	var sizeSum float64
+	var verdictCount int
+	for _, u := range test {
+		verdicts, _, err := detect.Run(u.Unit.Series, detect.Config{
+			Thresholds: m.learned,
+			Flex:       m.flex(),
+			Measure:    m.Measure,
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		part, err := detect.Evaluate(verdicts, u.Labels)
+		if err != nil {
+			return Result{}, err
+		}
+		c.Merge(part)
+		for _, v := range verdicts {
+			sizeSum += float64(v.Size)
+			verdictCount++
+		}
+	}
+	avg := 0.0
+	if verdictCount > 0 {
+		avg = sizeSum / float64(verdictCount)
+	}
+	return Result{Confusion: c, AvgWindowSize: avg}, nil
+}
+
+// Thresholds returns the learned judgment parameters (after Train).
+func (m *DBCatcherMethod) Thresholds() window.Thresholds { return m.learned.Clone() }

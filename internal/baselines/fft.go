@@ -1,0 +1,52 @@
+package baselines
+
+import (
+	"math"
+
+	"dbcatcher/internal/mathx"
+)
+
+// FFTDetector implements the FFT baseline [7]: the series is decomposed
+// into frequency components, the low-frequency part is kept as the local
+// trend, and each point's anomaly score is its deviation from that trend
+// relative to the robust deviation scale — "the degree of difference
+// between time series points and surrounding points".
+type FFTDetector struct {
+	// KeepFraction of the lowest frequencies forms the trend estimate
+	// (default 0.1).
+	KeepFraction float64
+}
+
+// Name implements PointScorer.
+func (f FFTDetector) Name() string { return "FFT" }
+
+// Scores implements PointScorer.
+func (f FFTDetector) Scores(x []float64) []float64 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	if n < 8 {
+		return make([]float64, n)
+	}
+	keep := f.KeepFraction
+	if keep <= 0 {
+		keep = 0.1
+	}
+	spec := mathx.RealFFT(x)
+	// Zero all but the lowest `cut` frequency bins (and their conjugate
+	// mirrors) to obtain a smooth trend.
+	cut := int(keep * float64(n) / 2)
+	if cut < 1 {
+		cut = 1
+	}
+	for k := cut + 1; k < n-cut; k++ {
+		spec[k] = 0
+	}
+	trend := mathx.RealIFFT(spec)
+	resid := make([]float64, n)
+	for i := range resid {
+		resid[i] = math.Abs(x[i] - trend[i])
+	}
+	return normalizeScores(resid)
+}

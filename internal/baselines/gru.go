@@ -1,0 +1,199 @@
+package baselines
+
+import (
+	"math"
+
+	"dbcatcher/internal/mathx"
+)
+
+// gru is a single-layer gated recurrent unit with manual BPTT, used by the
+// OmniAnomaly baseline. Dimensions: input D, hidden H.
+type gru struct {
+	d, h int
+	// Parameter blocks, each gate has input weights W (h x d), recurrent
+	// weights U (h x h), and bias b (h).
+	wz, uz, bz []float64
+	wr, ur, br []float64
+	wh, uh, bh []float64
+	// Gradients.
+	gwz, guz, gbz []float64
+	gwr, gur, gbr []float64
+	gwh, guh, gbh []float64
+}
+
+func newGRU(d, h int, rng *mathx.RNG) *gru {
+	g := &gru{d: d, h: h}
+	alloc := func(n int) []float64 { return make([]float64, n) }
+	g.wz, g.uz, g.bz = alloc(h*d), alloc(h*h), alloc(h)
+	g.wr, g.ur, g.br = alloc(h*d), alloc(h*h), alloc(h)
+	g.wh, g.uh, g.bh = alloc(h*d), alloc(h*h), alloc(h)
+	for _, w := range [][]float64{g.wz, g.wr, g.wh} {
+		xavier(w, d, h, rng)
+	}
+	for _, u := range [][]float64{g.uz, g.ur, g.uh} {
+		xavier(u, h, h, rng)
+	}
+	g.gwz, g.guz, g.gbz = alloc(h*d), alloc(h*h), alloc(h)
+	g.gwr, g.gur, g.gbr = alloc(h*d), alloc(h*h), alloc(h)
+	g.gwh, g.guh, g.gbh = alloc(h*d), alloc(h*h), alloc(h)
+	return g
+}
+
+// gruStep caches one step's intermediates for backprop.
+type gruStep struct {
+	x, hPrev        []float64
+	z, r, hCand, hT []float64
+}
+
+// matVec computes y = M·v where M is rows x cols row-major.
+func matVec(m []float64, rows, cols int, v []float64) []float64 {
+	out := make([]float64, rows)
+	for r := 0; r < rows; r++ {
+		row := m[r*cols : (r+1)*cols]
+		var s float64
+		for c, vc := range v {
+			s += row[c] * vc
+		}
+		out[r] = s
+	}
+	return out
+}
+
+// step runs one forward step, returning the new hidden state and a cache.
+func (g *gru) step(x, hPrev []float64) ([]float64, *gruStep) {
+	z := matVec(g.wz, g.h, g.d, x)
+	r := matVec(g.wr, g.h, g.d, x)
+	uzh := matVec(g.uz, g.h, g.h, hPrev)
+	urh := matVec(g.ur, g.h, g.h, hPrev)
+	for i := 0; i < g.h; i++ {
+		z[i] = sigmoid(z[i] + uzh[i] + g.bz[i])
+		r[i] = sigmoid(r[i] + urh[i] + g.br[i])
+	}
+	rh := make([]float64, g.h)
+	for i := range rh {
+		rh[i] = r[i] * hPrev[i]
+	}
+	hc := matVec(g.wh, g.h, g.d, x)
+	uhr := matVec(g.uh, g.h, g.h, rh)
+	for i := 0; i < g.h; i++ {
+		hc[i] = math.Tanh(hc[i] + uhr[i] + g.bh[i])
+	}
+	hT := make([]float64, g.h)
+	for i := 0; i < g.h; i++ {
+		hT[i] = (1-z[i])*hPrev[i] + z[i]*hc[i]
+	}
+	return hT, &gruStep{x: x, hPrev: hPrev, z: z, r: r, hCand: hc, hT: hT}
+}
+
+// backStep consumes dL/dh_t and accumulates parameter gradients, returning
+// dL/dh_{t-1} (gradient w.r.t. the input x is not needed by the VAE).
+func (g *gru) backStep(s *gruStep, dh []float64) []float64 {
+	h := g.h
+	dhPrev := make([]float64, h)
+	dz := make([]float64, h)
+	dhc := make([]float64, h)
+	for i := 0; i < h; i++ {
+		dz[i] = (s.hCand[i] - s.hPrev[i]) * dh[i]
+		dhc[i] = s.z[i] * dh[i]
+		dhPrev[i] += (1 - s.z[i]) * dh[i]
+	}
+	// Candidate path through tanh.
+	daH := make([]float64, h)
+	for i := 0; i < h; i++ {
+		daH[i] = dtanh(s.hCand[i]) * dhc[i]
+	}
+	rh := make([]float64, h)
+	for i := 0; i < h; i++ {
+		rh[i] = s.r[i] * s.hPrev[i]
+	}
+	accumOuter(g.gwh, daH, s.x)
+	accumOuter(g.guh, daH, rh)
+	accumVec(g.gbh, daH)
+	dRH := tMatVec(g.uh, h, h, daH)
+	dr := make([]float64, h)
+	for i := 0; i < h; i++ {
+		dr[i] = s.hPrev[i] * dRH[i]
+		dhPrev[i] += s.r[i] * dRH[i]
+	}
+	// Update gate path.
+	daZ := make([]float64, h)
+	for i := 0; i < h; i++ {
+		daZ[i] = dsigmoid(s.z[i]) * dz[i]
+	}
+	accumOuter(g.gwz, daZ, s.x)
+	accumOuter(g.guz, daZ, s.hPrev)
+	accumVec(g.gbz, daZ)
+	addTMatVec(dhPrev, g.uz, h, h, daZ)
+	// Reset gate path.
+	daR := make([]float64, h)
+	for i := 0; i < h; i++ {
+		daR[i] = dsigmoid(s.r[i]) * dr[i]
+	}
+	accumOuter(g.gwr, daR, s.x)
+	accumOuter(g.gur, daR, s.hPrev)
+	accumVec(g.gbr, daR)
+	addTMatVec(dhPrev, g.ur, h, h, daR)
+	return dhPrev
+}
+
+// stepParams applies SGD and clears gradients.
+func (g *gru) stepParams(lr float64) {
+	apply := func(w, gw []float64) {
+		for i := range w {
+			w[i] -= lr * clip(gw[i])
+			gw[i] = 0
+		}
+	}
+	apply(g.wz, g.gwz)
+	apply(g.uz, g.guz)
+	apply(g.bz, g.gbz)
+	apply(g.wr, g.gwr)
+	apply(g.ur, g.gur)
+	apply(g.br, g.gbr)
+	apply(g.wh, g.gwh)
+	apply(g.uh, g.guh)
+	apply(g.bh, g.gbh)
+}
+
+// clip bounds a gradient component to stabilize BPTT.
+func clip(g float64) float64 { return mathx.Clamp(g, -5, 5) }
+
+// accumOuter adds dv ⊗ x into the rows x cols gradient block.
+func accumOuter(gw, dv, x []float64) {
+	cols := len(x)
+	for r, d := range dv {
+		if d == 0 {
+			continue
+		}
+		row := gw[r*cols : (r+1)*cols]
+		for c, xc := range x {
+			row[c] += d * xc
+		}
+	}
+}
+
+func accumVec(gb, dv []float64) {
+	for i, d := range dv {
+		gb[i] += d
+	}
+}
+
+// tMatVec computes Mᵀ·v for a rows x cols matrix.
+func tMatVec(m []float64, rows, cols int, v []float64) []float64 {
+	out := make([]float64, cols)
+	addTMatVec(out, m, rows, cols, v)
+	return out
+}
+
+func addTMatVec(dst, m []float64, rows, cols int, v []float64) {
+	for r := 0; r < rows; r++ {
+		vr := v[r]
+		if vr == 0 {
+			continue
+		}
+		row := m[r*cols : (r+1)*cols]
+		for c := 0; c < cols; c++ {
+			dst[c] += row[c] * vr
+		}
+	}
+}

@@ -1,0 +1,226 @@
+package baselines
+
+import (
+	"math"
+
+	"dbcatcher/internal/mathx"
+)
+
+// JumpStarter implements a reduced-scale version of the JumpStarter
+// baseline [16]: per window, an outlier-resistant random sample of points
+// is taken from each dimension, the full window is reconstructed from the
+// samples by compressed sensing (orthogonal matching pursuit over a DCT
+// dictionary), and a point's anomaly score is its reconstruction residual.
+// Points that compressed sensing cannot explain from the sampled majority
+// are anomalous.
+type JumpStarter struct {
+	// Window is the reconstruction window length (default 64).
+	Window int
+	// SampleFraction of points kept per window (default 0.4).
+	SampleFraction float64
+	// Sparsity is the OMP atom budget (default 6).
+	Sparsity int
+	// OutlierZ is the robust z-score beyond which a sampled point is
+	// rejected as an outlier (default 3).
+	OutlierZ float64
+	// Seed drives the sampling.
+	Seed uint64
+
+	basis     *mathx.Matrix // Window x Window DCT dictionary
+	basisSize int
+}
+
+// NewJumpStarter returns a detector with default hyperparameters.
+func NewJumpStarter(seed uint64) *JumpStarter {
+	return &JumpStarter{
+		Window:         64,
+		SampleFraction: 0.4,
+		Sparsity:       6,
+		OutlierZ:       3,
+		Seed:           seed,
+	}
+}
+
+// Name implements MultiScorer.
+func (j *JumpStarter) Name() string { return "JumpStarter" }
+
+// Fit implements MultiScorer. JumpStarter's selling point is requiring no
+// training ("jump-starting" detection); Fit only prepares the dictionary.
+func (j *JumpStarter) Fit([][]float64) { j.ensureBasis() }
+
+func (j *JumpStarter) ensureBasis() {
+	if j.Window <= 0 {
+		j.Window = 64
+	}
+	if j.basis != nil && j.basisSize == j.Window {
+		return
+	}
+	n := j.Window
+	b := mathx.NewMatrix(n, n)
+	for k := 0; k < n; k++ {
+		scale := math.Sqrt(2 / float64(n))
+		if k == 0 {
+			scale = math.Sqrt(1 / float64(n))
+		}
+		for t := 0; t < n; t++ {
+			b.Set(t, k, scale*math.Cos(math.Pi*float64(k)*(float64(t)+0.5)/float64(n)))
+		}
+	}
+	j.basis = b
+	j.basisSize = n
+}
+
+// ScoresMulti implements MultiScorer: the mean normalized reconstruction
+// residual across dimensions, per time step.
+func (j *JumpStarter) ScoresMulti(x [][]float64) []float64 {
+	if len(x) == 0 {
+		return nil
+	}
+	j.ensureBasis()
+	n := len(x[0])
+	out := make([]float64, n)
+	rng := mathx.NewRNG(j.Seed)
+	for _, dim := range x {
+		scores := j.scoreDim(dim, rng)
+		for i, s := range scores {
+			out[i] += s
+		}
+	}
+	inv := 1 / float64(len(x))
+	for i := range out {
+		out[i] *= inv
+	}
+	return out
+}
+
+// scoreDim reconstructs one dimension window by window.
+func (j *JumpStarter) scoreDim(x []float64, rng *mathx.RNG) []float64 {
+	n := len(x)
+	out := make([]float64, n)
+	w := j.Window
+	if n < w {
+		return out
+	}
+	scale := mathx.MAD(x)
+	if scale == 0 {
+		scale = 1e-9
+	}
+	for start := 0; start+w <= n; start += w {
+		win := x[start : start+w]
+		recon := j.reconstruct(win, rng)
+		for i := range win {
+			out[start+i] = math.Abs(win[i]-recon[i]) / scale
+		}
+	}
+	// Trailing partial window: reuse the last full window's tail scores.
+	for i := (n / w) * w; i < n; i++ {
+		out[i] = out[i-w]
+	}
+	return out
+}
+
+// reconstruct samples the window outlier-resistantly and solves OMP.
+func (j *JumpStarter) reconstruct(win []float64, rng *mathx.RNG) []float64 {
+	w := len(win)
+	m := int(j.SampleFraction * float64(w))
+	if m < j.Sparsity*2 {
+		m = j.Sparsity * 2
+	}
+	if m > w {
+		m = w
+	}
+	// Outlier-resistant sampling: draw uniformly, reject samples whose
+	// robust z-score is extreme (they would poison the reconstruction).
+	med := mathx.Median(win)
+	mad := mathx.MAD(win)
+	if mad == 0 {
+		mad = 1e-9
+	}
+	idx := make([]int, 0, m)
+	perm := rng.Perm(w)
+	for _, i := range perm {
+		if math.Abs(win[i]-med)/mad > j.OutlierZ {
+			continue
+		}
+		idx = append(idx, i)
+		if len(idx) == m {
+			break
+		}
+	}
+	if len(idx) < j.Sparsity {
+		// Window is mostly outliers; fall back to the median everywhere.
+		flat := make([]float64, w)
+		for i := range flat {
+			flat[i] = med
+		}
+		return flat
+	}
+	coef := j.omp(win, idx)
+	return j.basis.MulVec(coef)
+}
+
+// omp runs orthogonal matching pursuit: select atoms of the sampled
+// dictionary that best explain the sampled values, then solve least
+// squares on the selected support.
+func (j *JumpStarter) omp(win []float64, idx []int) []float64 {
+	w := len(win)
+	y := make([]float64, len(idx))
+	for i, t := range idx {
+		y[i] = win[t]
+	}
+	// Sampled dictionary: rows = samples, cols = atoms.
+	a := mathx.NewMatrix(len(idx), w)
+	for i, t := range idx {
+		copy(a.Row(i), j.basis.Row(t))
+	}
+	resid := mathx.Clone(y)
+	support := make([]int, 0, j.Sparsity)
+	inSupport := make(map[int]bool)
+	var coefOnSupport []float64
+	for it := 0; it < j.Sparsity; it++ {
+		// Pick the atom most correlated with the residual.
+		best, bestAbs := -1, 0.0
+		for atom := 0; atom < w; atom++ {
+			if inSupport[atom] {
+				continue
+			}
+			var dot float64
+			for i := range idx {
+				dot += a.At(i, atom) * resid[i]
+			}
+			if ab := math.Abs(dot); ab > bestAbs {
+				bestAbs = ab
+				best = atom
+			}
+		}
+		if best == -1 || bestAbs < 1e-12 {
+			break
+		}
+		support = append(support, best)
+		inSupport[best] = true
+		// Least squares on the support.
+		sub := mathx.NewMatrix(len(idx), len(support))
+		for i := range idx {
+			for c, atom := range support {
+				sub.Set(i, c, a.At(i, atom))
+			}
+		}
+		c, err := mathx.LeastSquares(sub, y)
+		if err != nil {
+			break
+		}
+		coefOnSupport = c
+		// Update residual.
+		approx := sub.MulVec(c)
+		for i := range resid {
+			resid[i] = y[i] - approx[i]
+		}
+	}
+	coef := make([]float64, w)
+	for c, atom := range support {
+		if coefOnSupport != nil && c < len(coefOnSupport) {
+			coef[atom] = coefOnSupport[c]
+		}
+	}
+	return coef
+}

@@ -1,0 +1,194 @@
+package baselines
+
+import (
+	"fmt"
+	"time"
+
+	"dbcatcher/internal/anomaly"
+	"dbcatcher/internal/dataset"
+	"dbcatcher/internal/mathx"
+	"dbcatcher/internal/metrics"
+)
+
+// Method is the uniform contract every compared approach (the five
+// baselines and DBCatcher itself) implements for the experiment harness:
+// fit on a labelled training split, then judge a test split into
+// window-level verdicts (§IV-B protocol).
+type Method interface {
+	// Name labels the method in tables.
+	Name() string
+	// Train fits the method (model parameters and/or thresholds and
+	// window size) on the training units.
+	Train(train []*dataset.UnitData, seed uint64) (TrainInfo, error)
+	// Evaluate judges the test units with the trained parameters.
+	Evaluate(test []*dataset.UnitData) (Result, error)
+}
+
+// TrainInfo reports what training produced.
+type TrainInfo struct {
+	// Duration is the wall-clock training time (Table VI / Table IX).
+	Duration time.Duration
+	// BestF is the F-Measure achieved on the training split.
+	BestF float64
+	// WindowSize is the selected detection window (Table V / VII / VIII).
+	WindowSize int
+}
+
+// Result reports test-split performance.
+type Result struct {
+	Confusion metrics.Confusion
+	// AvgWindowSize is the mean points consumed per verdict.
+	AvgWindowSize float64
+}
+
+// unitScores holds one unit's per-dimension anomaly scores plus truth.
+type unitScores struct {
+	dims   [][]float64 // [dim][tick]
+	labels *anomaly.Labels
+}
+
+// params is the searched decision rule: a window is declared abnormal when
+// at least kOfM dimensions contain a point whose score exceeds tau.
+type params struct {
+	tau        float64
+	windowSize int
+	kOfM       int
+}
+
+// windowSizeGrid is the searched Window-Size space; the paper's reported
+// best sizes (Tables V, VII, VIII) fall inside it.
+var windowSizeGrid = []int{15, 20, 25, 30, 40, 50, 60, 70, 80, 90, 100}
+
+// tauQuantiles seed threshold candidates from the pooled score
+// distribution.
+var tauQuantiles = []float64{0.90, 0.95, 0.97, 0.98, 0.99, 0.995, 0.999}
+
+// searchParams random-searches the decision rule for the best training
+// F-Measure, mirroring §IV-B: "Each method uses the training set to
+// randomly search thresholds and Window-size for which the optimal
+// F-Measure can be obtained".
+func searchParams(units []unitScores, maxK int, rng *mathx.RNG) (params, float64) {
+	// Pool scores for quantile-based threshold candidates.
+	var pooled []float64
+	for _, u := range units {
+		for _, dim := range u.dims {
+			pooled = append(pooled, dim...)
+		}
+	}
+	var taus []float64
+	for _, q := range tauQuantiles {
+		taus = append(taus, scoreQuantile(pooled, q))
+	}
+	best := params{tau: taus[0], windowSize: windowSizeGrid[0], kOfM: 1}
+	bestF := -1.0
+	for _, ws := range windowSizeGrid {
+		for _, tau := range taus {
+			for k := 1; k <= maxK; k++ {
+				p := params{tau: tau, windowSize: ws, kOfM: k}
+				f := judgeAll(units, p).FMeasure()
+				// Ties favour the smaller window (higher efficiency at
+				// equal performance), matching how Table V reads.
+				if f > bestF+1e-12 {
+					bestF = f
+					best = p
+				}
+			}
+		}
+	}
+	// Jittered random restarts around the best threshold.
+	for i := 0; i < 20; i++ {
+		p := best
+		p.tau *= rng.Range(0.8, 1.25)
+		if f := judgeAll(units, p).FMeasure(); f > bestF+1e-12 {
+			bestF = f
+			best = p
+		}
+	}
+	return best, bestF
+}
+
+// judgeAll applies the rule to every unit and merges the confusions.
+func judgeAll(units []unitScores, p params) metrics.Confusion {
+	var c metrics.Confusion
+	for _, u := range units {
+		c.Merge(judgeUnit(u, p))
+	}
+	return c
+}
+
+// judgeUnit tiles the unit into non-overlapping windows and applies the
+// k-of-M rule; a window's truth is whether it contains a labelled tick.
+func judgeUnit(u unitScores, p params) metrics.Confusion {
+	var c metrics.Confusion
+	if len(u.dims) == 0 {
+		return c
+	}
+	n := len(u.dims[0])
+	for start := 0; start+p.windowSize <= n; start += p.windowSize {
+		hot := 0
+		for _, dim := range u.dims {
+			for t := start; t < start+p.windowSize; t++ {
+				if dim[t] > p.tau {
+					hot++
+					break
+				}
+			}
+		}
+		predicted := hot >= p.kOfM
+		actual := false
+		for t := start; t < start+p.windowSize; t++ {
+			if u.labels.Point[t] {
+				actual = true
+				break
+			}
+		}
+		c.Add(predicted, actual)
+	}
+	return c
+}
+
+// errNotTrained is returned when Evaluate precedes Train.
+var errNotTrained = fmt.Errorf("baselines: method not trained")
+
+// tickMarker is implemented by methods that can expose per-tick abnormal
+// flags for a single unit (used by the ensemble package).
+type tickMarker interface {
+	markTicks(u *dataset.UnitData) ([]bool, error)
+}
+
+// AbnormalTicks returns the method's per-tick abnormal flags for one unit
+// under its trained decision rule: every tick of a flagged window is
+// marked. The method must have been trained.
+func AbnormalTicks(m Method, u *dataset.UnitData) ([]bool, error) {
+	tm, ok := m.(tickMarker)
+	if !ok {
+		return nil, fmt.Errorf("baselines: %s cannot mark ticks", m.Name())
+	}
+	return tm.markTicks(u)
+}
+
+// markWindowTicks applies the rule to one unit's scores and expands
+// flagged windows onto the tick axis.
+func markWindowTicks(us unitScores, p params, n int) []bool {
+	out := make([]bool, n)
+	if len(us.dims) == 0 {
+		return out
+	}
+	for start := 0; start+p.windowSize <= n; start += p.windowSize {
+		hot := 0
+		for _, dim := range us.dims {
+			for t := start; t < start+p.windowSize; t++ {
+				if dim[t] > p.tau {
+					hot++
+					break
+				}
+			}
+		}
+		if hot >= p.kOfM {
+			for t := start; t < start+p.windowSize; t++ {
+				out[t] = true
+			}
+		}
+	}
+	return out
+}

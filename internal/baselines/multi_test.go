@@ -1,0 +1,176 @@
+package baselines
+
+import (
+	"math"
+	"testing"
+
+	"dbcatcher/internal/mathx"
+)
+
+// makeMultivariate builds a D-dim series with shared sinusoidal structure
+// and an anomalous stretch [aStart, aEnd) where the trend is replaced by a
+// flat outlier level on every dimension.
+func makeMultivariate(d, n, aStart, aEnd int, seed uint64) [][]float64 {
+	rng := mathx.NewRNG(seed)
+	out := make([][]float64, d)
+	for dim := 0; dim < d; dim++ {
+		gain := rng.Range(0.8, 1.2)
+		row := make([]float64, n)
+		for t := 0; t < n; t++ {
+			row[t] = gain * (10 + 4*math.Sin(2*math.Pi*float64(t)/24) + 0.2*rng.Norm())
+			if t >= aStart && t < aEnd {
+				row[t] = gain * 25 * (1 + 0.05*rng.Norm())
+			}
+		}
+		out[dim] = row
+	}
+	return out
+}
+
+func meanScore(s []float64, lo, hi int) float64 {
+	return mathx.Mean(s[lo:hi])
+}
+
+func TestOmniAnomalyLearnsNormalPattern(t *testing.T) {
+	d, n := 4, 600
+	train := makeMultivariate(d, n, n, n, 1) // no anomaly
+	m := NewOmniAnomaly(2)
+	m.SamplesPerEpoch = 800
+	m.Fit(train)
+	if !m.trained {
+		t.Fatal("not trained")
+	}
+	test := makeMultivariate(d, 400, 200, 230, 3)
+	scores := m.ScoresMulti(test)
+	if len(scores) != 400 {
+		t.Fatalf("score length %d", len(scores))
+	}
+	anomalous := meanScore(scores, 205, 230)
+	normal := meanScore(scores, 50, 180)
+	if anomalous <= 2*normal {
+		t.Fatalf("anomalous mean score %v should clearly exceed normal %v", anomalous, normal)
+	}
+}
+
+func TestOmniAnomalyUntrainedReturnsZeros(t *testing.T) {
+	m := NewOmniAnomaly(1)
+	s := m.ScoresMulti(makeMultivariate(3, 100, 100, 100, 4))
+	for _, v := range s {
+		if v != 0 {
+			t.Fatal("untrained model should return zeros")
+		}
+	}
+	if m.ScoresMulti(nil) != nil {
+		t.Fatal("nil input should give nil")
+	}
+}
+
+func TestOmniAnomalyTrainingReducesReconstructionError(t *testing.T) {
+	d, n := 3, 500
+	data := makeMultivariate(d, n, n, n, 5)
+	m := NewOmniAnomaly(6)
+	m.SamplesPerEpoch = 50
+	m.Epochs = 1
+	m.Fit(data)
+	early := mathx.Mean(m.ScoresMulti(data))
+
+	m2 := NewOmniAnomaly(6)
+	m2.SamplesPerEpoch = 1500
+	m2.Epochs = 3
+	m2.Fit(data)
+	late := mathx.Mean(m2.ScoresMulti(data))
+	if late >= early {
+		t.Fatalf("more training should reduce error: %v -> %v", early, late)
+	}
+}
+
+func TestJumpStarterReconstruction(t *testing.T) {
+	j := NewJumpStarter(7)
+	test := makeMultivariate(4, 384, 200, 220, 8)
+	j.Fit(nil)
+	scores := j.ScoresMulti(test)
+	if len(scores) != 384 {
+		t.Fatalf("score length %d", len(scores))
+	}
+	anomalous := meanScore(scores, 203, 218)
+	normal := meanScore(scores, 20, 180)
+	if anomalous <= 1.5*normal {
+		t.Fatalf("anomalous mean %v should exceed normal %v", anomalous, normal)
+	}
+}
+
+func TestJumpStarterSmoothSignalLowResidual(t *testing.T) {
+	// A smooth signal is sparse in DCT: reconstruction from 40% samples
+	// should be near-exact.
+	j := NewJumpStarter(9)
+	j.ensureBasis()
+	n := j.Window
+	win := make([]float64, n)
+	for i := range win {
+		win[i] = 5 + 2*math.Cos(2*math.Pi*float64(i)/float64(n))
+	}
+	rng := mathx.NewRNG(10)
+	recon := j.reconstruct(win, rng)
+	for i := range win {
+		if math.Abs(win[i]-recon[i]) > 0.2 {
+			t.Fatalf("smooth reconstruction off at %d: %v vs %v", i, win[i], recon[i])
+		}
+	}
+}
+
+func TestJumpStarterOutlierResistantSampling(t *testing.T) {
+	// A window with a huge outlier: the outlier must not be sampled, so
+	// the reconstruction stays near the clean signal and the outlier's
+	// residual is large.
+	j := NewJumpStarter(11)
+	j.ensureBasis()
+	n := j.Window
+	win := make([]float64, n)
+	for i := range win {
+		win[i] = 10.0
+	}
+	win[n/2] = 1000
+	rng := mathx.NewRNG(12)
+	recon := j.reconstruct(win, rng)
+	if math.Abs(recon[n/2]-10) > 5 {
+		t.Fatalf("reconstruction should ignore the outlier, got %v", recon[n/2])
+	}
+}
+
+func TestJumpStarterDegenerate(t *testing.T) {
+	j := NewJumpStarter(13)
+	if j.ScoresMulti(nil) != nil {
+		t.Fatal("nil input")
+	}
+	// Shorter than one window: zero scores, no panic.
+	short := [][]float64{make([]float64, 10)}
+	s := j.ScoresMulti(short)
+	for _, v := range s {
+		if v != 0 {
+			t.Fatal("short input should score zero")
+		}
+	}
+}
+
+func TestDCTBasisOrthonormal(t *testing.T) {
+	j := NewJumpStarter(14)
+	j.Window = 16
+	j.ensureBasis()
+	b := j.basis
+	// Columns must be orthonormal: BᵀB = I.
+	for i := 0; i < 16; i++ {
+		for k := i; k < 16; k++ {
+			var dot float64
+			for t := 0; t < 16; t++ {
+				dot += b.At(t, i) * b.At(t, k)
+			}
+			want := 0.0
+			if i == k {
+				want = 1.0
+			}
+			if math.Abs(dot-want) > 1e-9 {
+				t.Fatalf("basis columns %d,%d dot = %v, want %v", i, k, dot, want)
+			}
+		}
+	}
+}

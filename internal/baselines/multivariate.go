@@ -1,0 +1,116 @@
+package baselines
+
+import (
+	"time"
+
+	"dbcatcher/internal/dataset"
+	"dbcatcher/internal/mathx"
+)
+
+// Multivariate adapts a MultiScorer (OmniAnomaly, JumpStarter) to the
+// Method interface. The scorer sees each database's 14-KPI multivariate
+// series (the per-instance deployment of these systems); the unit's single
+// score dimension takes the per-tick maximum across databases, and window
+// judgment uses a plain threshold (k-of-M with M = 1).
+type Multivariate struct {
+	// Label is the method name in tables.
+	Label string
+	// Build constructs a fresh scorer for a training run.
+	Build func(seed uint64) MultiScorer
+
+	scorer MultiScorer
+	best   params
+	ready  bool
+}
+
+// Name implements Method.
+func (m *Multivariate) Name() string { return m.Label }
+
+// Train implements Method: fit the model on pooled training data, then
+// search the decision rule.
+func (m *Multivariate) Train(train []*dataset.UnitData, seed uint64) (TrainInfo, error) {
+	start := time.Now()
+	rng := mathx.NewRNG(seed)
+	m.scorer = m.Build(seed)
+	if len(train) > 0 {
+		// Fit on one representative database's multivariate series; the
+		// demand process is shared unit-wide, so any healthy database is
+		// representative.
+		u := train[rng.Intn(len(train))]
+		d := 0
+		if u.Unit.Series.Databases > 1 {
+			d = 1 // prefer a replica; the primary carries extra components
+		}
+		m.scorer.Fit(dbMatrix(u, d))
+	}
+	scores := m.scoreUnits(train)
+	p, f := searchParams(scores, 1, rng)
+	m.best = p
+	m.ready = true
+	return TrainInfo{Duration: time.Since(start), BestF: f, WindowSize: p.windowSize}, nil
+}
+
+// Evaluate implements Method.
+func (m *Multivariate) Evaluate(test []*dataset.UnitData) (Result, error) {
+	if !m.ready {
+		return Result{}, errNotTrained
+	}
+	scores := m.scoreUnits(test)
+	c := judgeAll(scores, m.best)
+	return Result{Confusion: c, AvgWindowSize: float64(m.best.windowSize)}, nil
+}
+
+// dbMatrix extracts database d's KPI-by-time matrix.
+func dbMatrix(u *dataset.UnitData, d int) [][]float64 {
+	kpis := u.Unit.Series.KPIs
+	out := make([][]float64, kpis)
+	for k := 0; k < kpis; k++ {
+		out[k] = u.Unit.Series.Data[k][d].Values
+	}
+	return out
+}
+
+// scoreUnits runs the scorer per database and reduces to one dimension by
+// the per-tick maximum.
+func (m *Multivariate) scoreUnits(units []*dataset.UnitData) []unitScores {
+	out := make([]unitScores, len(units))
+	for i, u := range units {
+		n := u.Unit.Series.Len()
+		dim := make([]float64, n)
+		for d := 0; d < u.Unit.Series.Databases; d++ {
+			s := normalizeScores(m.scorer.ScoresMulti(dbMatrix(u, d)))
+			for t, v := range s {
+				if v > dim[t] {
+					dim[t] = v
+				}
+			}
+		}
+		out[i] = unitScores{dims: [][]float64{dim}, labels: u.Labels}
+	}
+	return out
+}
+
+// NewOmniAnomalyMethod builds the OmniAnomaly baseline as a Method.
+func NewOmniAnomalyMethod() *Multivariate {
+	return &Multivariate{
+		Label: "OmniAnomaly",
+		Build: func(seed uint64) MultiScorer { return NewOmniAnomaly(seed) },
+	}
+}
+
+// NewJumpStarterMethod builds the JumpStarter baseline as a Method.
+func NewJumpStarterMethod() *Multivariate {
+	return &Multivariate{
+		Label: "JumpStarter",
+		Build: func(seed uint64) MultiScorer { return NewJumpStarter(seed) },
+	}
+}
+
+// markTicks implements the ensemble tick-marking hook.
+func (m *Multivariate) markTicks(u *dataset.UnitData) ([]bool, error) {
+	if !m.ready {
+		return nil, errNotTrained
+	}
+	scores := m.scoreUnits([]*dataset.UnitData{u})
+	return markWindowTicks(scores[0], m.best, u.Unit.Series.Len()), nil
+}

@@ -1,0 +1,164 @@
+package baselines
+
+import (
+	"math"
+
+	"dbcatcher/internal/mathx"
+)
+
+// Small neural-network primitives shared by the SR-CNN and OmniAnomaly
+// baselines. These are deliberately minimal: plain float64 slices, manual
+// backprop, SGD — enough to train the reduced-scale models the comparison
+// needs, with gradient-checked correctness (see nn_test.go).
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+func dsigmoid(y float64) float64 { return y * (1 - y) } // y = sigmoid(x)
+
+func dtanh(y float64) float64 { return 1 - y*y } // y = tanh(x)
+
+// xavier initializes a weight slice with scaled uniform noise.
+func xavier(w []float64, fanIn, fanOut int, rng *mathx.RNG) {
+	limit := math.Sqrt(6 / float64(fanIn+fanOut))
+	for i := range w {
+		w[i] = rng.Range(-limit, limit)
+	}
+}
+
+// dense is a fully connected layer y = W·x + b.
+type dense struct {
+	in, out int
+	w       []float64 // out x in, row-major
+	b       []float64
+	gw      []float64
+	gb      []float64
+}
+
+func newDense(in, out int, rng *mathx.RNG) *dense {
+	d := &dense{
+		in: in, out: out,
+		w:  make([]float64, in*out),
+		b:  make([]float64, out),
+		gw: make([]float64, in*out),
+		gb: make([]float64, out),
+	}
+	xavier(d.w, in, out, rng)
+	return d
+}
+
+func (d *dense) forward(x []float64) []float64 {
+	y := make([]float64, d.out)
+	for o := 0; o < d.out; o++ {
+		sum := d.b[o]
+		row := d.w[o*d.in : (o+1)*d.in]
+		for i, xi := range x {
+			sum += row[i] * xi
+		}
+		y[o] = sum
+	}
+	return y
+}
+
+// backward accumulates gradients given upstream dL/dy and returns dL/dx.
+func (d *dense) backward(x, dy []float64) []float64 {
+	dx := make([]float64, d.in)
+	for o := 0; o < d.out; o++ {
+		g := dy[o]
+		d.gb[o] += g
+		row := d.w[o*d.in : (o+1)*d.in]
+		grow := d.gw[o*d.in : (o+1)*d.in]
+		for i, xi := range x {
+			grow[i] += g * xi
+			dx[i] += g * row[i]
+		}
+	}
+	return dx
+}
+
+func (d *dense) step(lr float64) {
+	for i := range d.w {
+		d.w[i] -= lr * d.gw[i]
+		d.gw[i] = 0
+	}
+	for i := range d.b {
+		d.b[i] -= lr * d.gb[i]
+		d.gb[i] = 0
+	}
+}
+
+// conv1d is a 1-D valid convolution with F filters of width K over a
+// single input channel.
+type conv1d struct {
+	k, filters int
+	w          []float64 // filters x k
+	b          []float64
+	gw         []float64
+	gb         []float64
+}
+
+func newConv1d(k, filters int, rng *mathx.RNG) *conv1d {
+	c := &conv1d{
+		k: k, filters: filters,
+		w:  make([]float64, k*filters),
+		b:  make([]float64, filters),
+		gw: make([]float64, k*filters),
+		gb: make([]float64, filters),
+	}
+	xavier(c.w, k, filters, rng)
+	return c
+}
+
+// forward returns [filters][outLen] activations with outLen = len(x)-k+1.
+func (c *conv1d) forward(x []float64) [][]float64 {
+	outLen := len(x) - c.k + 1
+	if outLen < 1 {
+		return nil
+	}
+	out := make([][]float64, c.filters)
+	for f := 0; f < c.filters; f++ {
+		kern := c.w[f*c.k : (f+1)*c.k]
+		row := make([]float64, outLen)
+		for t := 0; t < outLen; t++ {
+			sum := c.b[f]
+			for j := 0; j < c.k; j++ {
+				sum += kern[j] * x[t+j]
+			}
+			row[t] = sum
+		}
+		out[f] = row
+	}
+	return out
+}
+
+// backward accumulates gradients from upstream dL/dout and returns dL/dx.
+func (c *conv1d) backward(x []float64, dout [][]float64) []float64 {
+	dx := make([]float64, len(x))
+	outLen := len(x) - c.k + 1
+	for f := 0; f < c.filters; f++ {
+		kern := c.w[f*c.k : (f+1)*c.k]
+		gker := c.gw[f*c.k : (f+1)*c.k]
+		for t := 0; t < outLen; t++ {
+			g := dout[f][t]
+			if g == 0 {
+				continue
+			}
+			c.gb[f] += g
+			for j := 0; j < c.k; j++ {
+				gker[j] += g * x[t+j]
+				dx[t+j] += g * kern[j]
+			}
+		}
+	}
+	return dx
+}
+
+func (c *conv1d) step(lr float64) {
+	for i := range c.w {
+		c.w[i] -= lr * c.gw[i]
+		c.gw[i] = 0
+	}
+	for i := range c.b {
+		c.b[i] -= lr * c.gb[i]
+		c.gb[i] = 0
+	}
+}

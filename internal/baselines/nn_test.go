@@ -1,0 +1,175 @@
+package baselines
+
+import (
+	"math"
+	"testing"
+
+	"dbcatcher/internal/mathx"
+)
+
+func TestDenseForwardBackwardGradientCheck(t *testing.T) {
+	rng := mathx.NewRNG(1)
+	d := newDense(3, 2, rng)
+	x := []float64{0.5, -1, 2}
+	// Loss = sum(y²)/2; analytic gradient vs numeric.
+	y := d.forward(x)
+	dy := mathx.Clone(y)
+	dx := d.backward(x, dy)
+	const eps = 1e-6
+	loss := func() float64 {
+		out := d.forward(x)
+		var s float64
+		for _, v := range out {
+			s += v * v / 2
+		}
+		return s
+	}
+	// Check weight gradients.
+	for i := range d.w {
+		orig := d.w[i]
+		d.w[i] = orig + eps
+		up := loss()
+		d.w[i] = orig - eps
+		down := loss()
+		d.w[i] = orig
+		num := (up - down) / (2 * eps)
+		if math.Abs(num-d.gw[i]) > 1e-4 {
+			t.Fatalf("dense weight grad %d: analytic %v numeric %v", i, d.gw[i], num)
+		}
+	}
+	// Check input gradients.
+	for i := range x {
+		orig := x[i]
+		x[i] = orig + eps
+		up := loss()
+		x[i] = orig - eps
+		down := loss()
+		x[i] = orig
+		num := (up - down) / (2 * eps)
+		if math.Abs(num-dx[i]) > 1e-4 {
+			t.Fatalf("dense input grad %d: analytic %v numeric %v", i, dx[i], num)
+		}
+	}
+}
+
+func TestConv1dGradientCheck(t *testing.T) {
+	rng := mathx.NewRNG(2)
+	c := newConv1d(3, 2, rng)
+	x := []float64{0.1, -0.4, 0.8, 1.2, -0.7}
+	out := c.forward(x)
+	dout := make([][]float64, len(out))
+	for f := range out {
+		dout[f] = mathx.Clone(out[f])
+	}
+	dx := c.backward(x, dout)
+	loss := func() float64 {
+		o := c.forward(x)
+		var s float64
+		for _, row := range o {
+			for _, v := range row {
+				s += v * v / 2
+			}
+		}
+		return s
+	}
+	const eps = 1e-6
+	for i := range c.w {
+		orig := c.w[i]
+		c.w[i] = orig + eps
+		up := loss()
+		c.w[i] = orig - eps
+		down := loss()
+		c.w[i] = orig
+		num := (up - down) / (2 * eps)
+		if math.Abs(num-c.gw[i]) > 1e-4 {
+			t.Fatalf("conv weight grad %d: analytic %v numeric %v", i, c.gw[i], num)
+		}
+	}
+	for i := range x {
+		orig := x[i]
+		x[i] = orig + eps
+		up := loss()
+		x[i] = orig - eps
+		down := loss()
+		x[i] = orig
+		num := (up - down) / (2 * eps)
+		if math.Abs(num-dx[i]) > 1e-4 {
+			t.Fatalf("conv input grad %d: analytic %v numeric %v", i, dx[i], num)
+		}
+	}
+}
+
+// TestGRUGradientCheck verifies the BPTT implementation numerically: loss
+// is sum(h_T²)/2 over a 3-step sequence.
+func TestGRUGradientCheck(t *testing.T) {
+	rng := mathx.NewRNG(3)
+	g := newGRU(2, 3, rng)
+	xs := [][]float64{{0.5, -1}, {0.2, 0.7}, {-0.3, 0.1}}
+
+	run := func() ([]float64, []*gruStep) {
+		h := make([]float64, 3)
+		steps := make([]*gruStep, len(xs))
+		for i, x := range xs {
+			var s *gruStep
+			h, s = g.step(x, h)
+			steps[i] = s
+		}
+		return h, steps
+	}
+	loss := func() float64 {
+		h, _ := run()
+		var s float64
+		for _, v := range h {
+			s += v * v / 2
+		}
+		return s
+	}
+
+	h, steps := run()
+	dh := mathx.Clone(h)
+	for i := len(steps) - 1; i >= 0; i-- {
+		dh = g.backStep(steps[i], dh)
+	}
+
+	check := func(name string, w, gw []float64) {
+		const eps = 1e-6
+		for i := range w {
+			orig := w[i]
+			w[i] = orig + eps
+			up := loss()
+			w[i] = orig - eps
+			down := loss()
+			w[i] = orig
+			num := (up - down) / (2 * eps)
+			if math.Abs(num-gw[i]) > 1e-4 {
+				t.Fatalf("%s grad %d: analytic %v numeric %v", name, i, gw[i], num)
+			}
+		}
+	}
+	check("wz", g.wz, g.gwz)
+	check("uz", g.uz, g.guz)
+	check("bz", g.bz, g.gbz)
+	check("wr", g.wr, g.gwr)
+	check("ur", g.ur, g.gur)
+	check("br", g.br, g.gbr)
+	check("wh", g.wh, g.gwh)
+	check("uh", g.uh, g.guh)
+	check("bh", g.bh, g.gbh)
+}
+
+func TestDenseTrainingReducesLoss(t *testing.T) {
+	// Fit y = 2x with a single dense layer.
+	rng := mathx.NewRNG(4)
+	d := newDense(1, 1, rng)
+	for i := 0; i < 500; i++ {
+		x := []float64{rng.Range(-1, 1)}
+		target := 2 * x[0]
+		y := d.forward(x)
+		dy := []float64{y[0] - target}
+		d.backward(x, dy)
+		d.step(0.1)
+	}
+	if math.Abs(d.w[0]-2) > 0.05 {
+		t.Fatalf("learned weight %v, want ~2", d.w[0])
+	}
+}

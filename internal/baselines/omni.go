@@ -1,0 +1,255 @@
+package baselines
+
+import (
+	"math"
+
+	"dbcatcher/internal/mathx"
+)
+
+// OmniAnomaly implements a reduced-scale version of the OmniAnomaly
+// baseline [15]: a GRU encodes a multivariate window into a stochastic
+// latent (variational autoencoder with diagonal Gaussian), a decoder
+// reconstructs the window's last observation, and the anomaly score of a
+// time step is its reconstruction error under the learned model.
+type OmniAnomaly struct {
+	// Window is the sequence length T fed to the GRU (default 12).
+	Window int
+	// Hidden is the GRU state size (default 12).
+	Hidden int
+	// Latent is the VAE latent size (default 4).
+	Latent int
+	// Epochs over the sampled training windows (default 2).
+	Epochs int
+	// SamplesPerEpoch caps the windows drawn per epoch (default 1500).
+	SamplesPerEpoch int
+	// LearningRate for SGD (default 0.01).
+	LearningRate float64
+	// KLWeight scales the KL term (default 0.05).
+	KLWeight float64
+	// Seed drives initialization and sampling.
+	Seed uint64
+
+	enc     *gru
+	mu, lv  *dense // latent heads
+	dec1    *dense // latent -> hidden (tanh)
+	dec2    *dense // hidden -> D
+	dims    int
+	means   []float64 // per-dim normalization
+	stds    []float64
+	trained bool
+}
+
+// NewOmniAnomaly returns an untrained model with default hyperparameters.
+func NewOmniAnomaly(seed uint64) *OmniAnomaly {
+	return &OmniAnomaly{
+		Window:          12,
+		Hidden:          12,
+		Latent:          4,
+		Epochs:          2,
+		SamplesPerEpoch: 1500,
+		LearningRate:    0.01,
+		KLWeight:        0.05,
+		Seed:            seed,
+	}
+}
+
+// Name implements MultiScorer.
+func (m *OmniAnomaly) Name() string { return "OmniAnomaly" }
+
+// Fit trains the GRU-VAE on the multivariate series (rows = dims).
+func (m *OmniAnomaly) Fit(x [][]float64) {
+	if len(x) == 0 || len(x[0]) <= m.Window {
+		return
+	}
+	rng := mathx.NewRNG(m.Seed)
+	m.dims = len(x)
+	m.fitNormalization(x)
+	norm := m.normalize(x)
+
+	m.enc = newGRU(m.dims, m.Hidden, rng.Split(1))
+	m.mu = newDense(m.Hidden, m.Latent, rng.Split(2))
+	m.lv = newDense(m.Hidden, m.Latent, rng.Split(3))
+	m.dec1 = newDense(m.Latent, m.Hidden, rng.Split(4))
+	m.dec2 = newDense(m.Hidden, m.dims, rng.Split(5))
+
+	n := len(norm[0])
+	for epoch := 0; epoch < m.Epochs; epoch++ {
+		for s := 0; s < m.SamplesPerEpoch; s++ {
+			start := rng.Intn(n - m.Window)
+			m.trainWindow(norm, start, rng)
+		}
+	}
+	m.trained = true
+}
+
+func (m *OmniAnomaly) fitNormalization(x [][]float64) {
+	m.means = make([]float64, len(x))
+	m.stds = make([]float64, len(x))
+	for d, row := range x {
+		m.means[d] = mathx.Mean(row)
+		m.stds[d] = mathx.Std(row)
+		if m.stds[d] == 0 {
+			m.stds[d] = 1
+		}
+	}
+}
+
+// normalizeSelf z-scores each dimension by its own statistics.
+func normalizeSelf(x [][]float64) [][]float64 {
+	out := make([][]float64, len(x))
+	for d, row := range x {
+		mean := mathx.Mean(row)
+		std := mathx.Std(row)
+		if std == 0 {
+			std = 1
+		}
+		o := make([]float64, len(row))
+		for i, v := range row {
+			o[i] = (v - mean) / std
+		}
+		out[d] = o
+	}
+	return out
+}
+
+func (m *OmniAnomaly) normalize(x [][]float64) [][]float64 {
+	out := make([][]float64, len(x))
+	for d, row := range x {
+		o := make([]float64, len(row))
+		for i, v := range row {
+			o[i] = (v - m.means[d]) / m.stds[d]
+		}
+		out[d] = o
+	}
+	return out
+}
+
+// column extracts time step t as a D-vector.
+func column(x [][]float64, t int) []float64 {
+	out := make([]float64, len(x))
+	for d := range x {
+		out[d] = x[d][t]
+	}
+	return out
+}
+
+// encode runs the GRU over the window and returns the step caches and the
+// final hidden state.
+func (m *OmniAnomaly) encode(x [][]float64, start int) ([]*gruStep, []float64) {
+	h := make([]float64, m.Hidden)
+	steps := make([]*gruStep, m.Window)
+	for t := 0; t < m.Window; t++ {
+		var s *gruStep
+		h, s = m.enc.step(column(x, start+t), h)
+		steps[t] = s
+	}
+	return steps, h
+}
+
+// trainWindow runs one SGD step on the window starting at `start`.
+func (m *OmniAnomaly) trainWindow(x [][]float64, start int, rng *mathx.RNG) {
+	steps, hT := m.encode(x, start)
+	mu := m.mu.forward(hT)
+	lv := m.lv.forward(hT)
+	// Clamp log-variance for stability.
+	for i := range lv {
+		lv[i] = mathx.Clamp(lv[i], -6, 6)
+	}
+	eps := make([]float64, m.Latent)
+	z := make([]float64, m.Latent)
+	for i := range z {
+		eps[i] = rng.Norm()
+		z[i] = mu[i] + math.Exp(lv[i]/2)*eps[i]
+	}
+	// Decode.
+	hid := m.dec1.forward(z)
+	act := make([]float64, len(hid))
+	for i, v := range hid {
+		act[i] = math.Tanh(v)
+	}
+	recon := m.dec2.forward(act)
+	target := column(x, start+m.Window-1)
+
+	// Gradients: L = 0.5*||recon - target||² + β*KL.
+	dRecon := make([]float64, m.dims)
+	for i := range dRecon {
+		dRecon[i] = recon[i] - target[i]
+	}
+	dAct := m.dec2.backward(act, dRecon)
+	dHid := make([]float64, len(hid))
+	for i := range dHid {
+		dHid[i] = dtanh(act[i]) * dAct[i]
+	}
+	dZ := m.dec1.backward(z, dHid)
+	// Reparameterization: dmu = dz; dlv = dz * eps * exp(lv/2) / 2.
+	dMu := make([]float64, m.Latent)
+	dLv := make([]float64, m.Latent)
+	for i := range dMu {
+		dMu[i] = dZ[i]
+		dLv[i] = dZ[i] * eps[i] * math.Exp(lv[i]/2) / 2
+	}
+	// KL(N(mu, sigma) || N(0, 1)) = 0.5*sum(mu² + e^lv - lv - 1).
+	for i := range dMu {
+		dMu[i] += m.KLWeight * mu[i]
+		dLv[i] += m.KLWeight * 0.5 * (math.Exp(lv[i]) - 1)
+	}
+	dhT := m.mu.backward(hT, dMu)
+	dhT2 := m.lv.backward(hT, dLv)
+	for i := range dhT {
+		dhT[i] += dhT2[i]
+	}
+	// BPTT through the GRU.
+	dh := dhT
+	for t := m.Window - 1; t >= 0; t-- {
+		dh = m.enc.backStep(steps[t], dh)
+	}
+	lr := m.LearningRate
+	m.enc.stepParams(lr)
+	m.mu.step(lr)
+	m.lv.step(lr)
+	m.dec1.step(lr)
+	m.dec2.step(lr)
+}
+
+// reconstructLast returns the deterministic (z = mu) reconstruction of the
+// last point of the window starting at `start`.
+func (m *OmniAnomaly) reconstructLast(x [][]float64, start int) []float64 {
+	_, hT := m.encode(x, start)
+	mu := m.mu.forward(hT)
+	hid := m.dec1.forward(mu)
+	for i, v := range hid {
+		hid[i] = math.Tanh(v)
+	}
+	return m.dec2.forward(hid)
+}
+
+// ScoresMulti implements MultiScorer: per-step mean squared
+// reconstruction error of the normalized observation.
+func (m *OmniAnomaly) ScoresMulti(x [][]float64) []float64 {
+	if len(x) == 0 {
+		return nil
+	}
+	n := len(x[0])
+	out := make([]float64, n)
+	if !m.trained || len(x) != m.dims || n < m.Window {
+		return out
+	}
+	// Normalize with the *input's* own statistics: units differ in scale
+	// and gain, and the model should judge shape, not level.
+	norm := normalizeSelf(x)
+	for t := m.Window - 1; t < n; t++ {
+		start := t - m.Window + 1
+		recon := m.reconstructLast(norm, start)
+		target := column(norm, t)
+		var err float64
+		for d := range target {
+			diff := recon[d] - target[d]
+			err += diff * diff
+		}
+		out[t] = err / float64(m.dims)
+	}
+	for t := 0; t < m.Window-1; t++ {
+		out[t] = out[m.Window-1]
+	}
+	return out
+}

@@ -1,0 +1,236 @@
+package baselines
+
+import (
+	"dbcatcher/internal/mathx"
+)
+
+// RRCF implements the Robust Random Cut Forest baseline of the related
+// work [39]: an ensemble of random-cut trees over shingled observations;
+// a point's anomaly score is its average collusive displacement (CoDisp)
+// across trees — how much tree mass an attacker would displace by
+// "colluding" the point's subtree away.
+type RRCF struct {
+	// Trees in the forest (default 24).
+	Trees int
+	// SampleSize per tree (default 128).
+	SampleSize int
+	// Shingle is the sliding-window embedding width (default 4).
+	Shingle int
+	// Seed drives sampling and cuts.
+	Seed uint64
+}
+
+// NewRRCF returns a forest with default hyperparameters.
+func NewRRCF(seed uint64) *RRCF {
+	return &RRCF{Trees: 24, SampleSize: 128, Shingle: 4, Seed: seed}
+}
+
+// Name implements PointScorer.
+func (r *RRCF) Name() string { return "RRCF" }
+
+// rcNode is one node of a random cut tree.
+type rcNode struct {
+	// Leaf payload.
+	point []float64
+	// Internal split.
+	dim         int
+	cut         float64
+	left, right *rcNode
+	// Bounding box and subtree size.
+	lo, hi []float64
+	size   int
+}
+
+// Scores implements PointScorer.
+func (r *RRCF) Scores(x []float64) []float64 {
+	n := len(x)
+	out := make([]float64, n)
+	if n < r.shingle()*4 {
+		return out
+	}
+	rng := mathx.NewRNG(r.Seed)
+	sh := r.shingle()
+	points := make([][]float64, n-sh+1)
+	for i := range points {
+		points[i] = x[i : i+sh]
+	}
+	trees := r.trees()
+	sample := r.sampleSize()
+	if sample > len(points) {
+		sample = len(points)
+	}
+	sums := make([]float64, len(points))
+	for t := 0; t < trees; t++ {
+		idx := rng.Sample(len(points), sample)
+		pts := make([][]float64, sample)
+		for i, j := range idx {
+			pts[i] = points[j]
+		}
+		root := buildRC(pts, rng)
+		for i, p := range points {
+			sums[i] += coDisp(root, p)
+		}
+	}
+	// A shingle's score lands on its last point (the newest observation).
+	scores := make([]float64, len(points))
+	inv := 1 / float64(trees)
+	for i := range scores {
+		scores[i] = sums[i] * inv
+	}
+	scores = normalizeScores(scores)
+	for i, s := range scores {
+		out[i+sh-1] = s
+	}
+	// Leading points reuse the first shingle's score.
+	for i := 0; i < sh-1; i++ {
+		out[i] = out[sh-1]
+	}
+	return out
+}
+
+func (r *RRCF) shingle() int {
+	if r.Shingle <= 0 {
+		return 4
+	}
+	return r.Shingle
+}
+
+func (r *RRCF) trees() int {
+	if r.Trees <= 0 {
+		return 24
+	}
+	return r.Trees
+}
+
+func (r *RRCF) sampleSize() int {
+	if r.SampleSize <= 0 {
+		return 128
+	}
+	return r.SampleSize
+}
+
+// buildRC recursively builds a random cut tree: the cut dimension is drawn
+// proportionally to the bounding-box side lengths and the cut position
+// uniformly within the box (the RRCF construction).
+func buildRC(points [][]float64, rng *mathx.RNG) *rcNode {
+	node := &rcNode{size: len(points)}
+	node.lo, node.hi = boundingBox(points)
+	if len(points) == 1 {
+		node.point = points[0]
+		return node
+	}
+	dim, cut, ok := randomCut(node.lo, node.hi, rng)
+	if !ok {
+		// All points identical: collapse to a weighted leaf.
+		node.point = points[0]
+		return node
+	}
+	var left, right [][]float64
+	for _, p := range points {
+		if p[dim] <= cut {
+			left = append(left, p)
+		} else {
+			right = append(right, p)
+		}
+	}
+	// A uniform cut inside the box always separates at least one point,
+	// but guard against degenerate float behaviour.
+	if len(left) == 0 || len(right) == 0 {
+		node.point = points[0]
+		return node
+	}
+	node.dim = dim
+	node.cut = cut
+	node.left = buildRC(left, rng)
+	node.right = buildRC(right, rng)
+	return node
+}
+
+func boundingBox(points [][]float64) (lo, hi []float64) {
+	d := len(points[0])
+	lo = append([]float64(nil), points[0]...)
+	hi = append([]float64(nil), points[0]...)
+	for _, p := range points[1:] {
+		for j := 0; j < d; j++ {
+			if p[j] < lo[j] {
+				lo[j] = p[j]
+			}
+			if p[j] > hi[j] {
+				hi[j] = p[j]
+			}
+		}
+	}
+	return lo, hi
+}
+
+// randomCut draws (dimension, position) proportional to side lengths.
+func randomCut(lo, hi []float64, rng *mathx.RNG) (int, float64, bool) {
+	total := 0.0
+	for j := range lo {
+		total += hi[j] - lo[j]
+	}
+	if total == 0 {
+		return 0, 0, false
+	}
+	u := rng.Float64() * total
+	for j := range lo {
+		side := hi[j] - lo[j]
+		if u < side {
+			return j, lo[j] + u, true
+		}
+		u -= side
+	}
+	return len(lo) - 1, hi[len(lo)-1], true
+}
+
+// coDisp simulates inserting p into the tree and returns the collusive
+// displacement: the maximum, over ancestors of the insertion point, of
+// sibling-subtree size divided by the size of the subtree being displaced.
+func coDisp(root *rcNode, p []float64) float64 {
+	best := 0.0
+	node := root
+	displaced := 1 // the colluding subtree starts as just p
+	for node.left != nil {
+		var sibling *rcNode
+		var next *rcNode
+		if p[node.dim] <= node.cut {
+			next, sibling = node.left, node.right
+		} else {
+			next, sibling = node.right, node.left
+		}
+		// If p falls outside the child's bounding box, RRCF would have cut
+		// p off here with high probability: the displacement is the whole
+		// subtree below.
+		if outsideBox(next, p) {
+			disp := float64(next.size) / float64(displaced)
+			if disp > best {
+				best = disp
+			}
+		}
+		disp := float64(sibling.size) / float64(displaced)
+		if disp > best {
+			best = disp
+		}
+		displaced += sibling.size
+		node = next
+	}
+	return best
+}
+
+func outsideBox(n *rcNode, p []float64) bool {
+	for j := range p {
+		if p[j] < n.lo[j] || p[j] > n.hi[j] {
+			return true
+		}
+	}
+	return false
+}
+
+// NewRRCFMethod builds the RRCF baseline as a Method (available for
+// extended comparisons beyond the paper's five).
+func NewRRCFMethod() *Univariate {
+	return &Univariate{
+		Label: "RRCF",
+		Build: func(seed uint64) PointScorer { return NewRRCF(seed) },
+	}
+}

@@ -1,0 +1,66 @@
+// Package baselines implements from-scratch versions of the five anomaly
+// detection methods DBCatcher is compared against (§IV-A4): FFT [7],
+// Spectral Residual [8], SR-CNN [14], OmniAnomaly [15] (GRU + variational
+// autoencoder), and JumpStarter [16] (compressed-sensing reconstruction),
+// together with the paper's evaluation protocol: per-KPI concatenation
+// across databases, the k-of-M multivariate rule, and random search over
+// thresholds and window size on the training split (§IV-B).
+//
+// The deep baselines are faithful algorithmically but necessarily reduced
+// in scale (stdlib-only Go, no GPU); see DESIGN.md for the substitution
+// rationale. The comparisons in the experiment harness depend on relative
+// shape, which survives the scale-down.
+package baselines
+
+import (
+	"dbcatcher/internal/mathx"
+)
+
+// PointScorer assigns an anomaly score to every point of a univariate
+// series; higher means more anomalous. Implementations must tolerate short
+// or constant inputs.
+type PointScorer interface {
+	// Name identifies the scorer in tables.
+	Name() string
+	// Scores returns one score per input point.
+	Scores(x []float64) []float64
+}
+
+// MultiScorer assigns an anomaly score to every time step of a
+// multivariate series (rows = dimensions, columns = time).
+type MultiScorer interface {
+	Name() string
+	// ScoresMulti returns one score per column of x.
+	ScoresMulti(x [][]float64) []float64
+	// Fit trains on (presumed mostly normal) data before scoring.
+	Fit(x [][]float64)
+}
+
+// normalizeScores rescales scores robustly to a comparable range using the
+// median and MAD, then clamps negatives to zero: a score is "how many
+// robust standard deviations above typical".
+func normalizeScores(s []float64) []float64 {
+	out := make([]float64, len(s))
+	if len(s) == 0 {
+		return out
+	}
+	med := mathx.Median(s)
+	mad := mathx.MAD(s)
+	if mad == 0 {
+		mad = 1e-9
+	}
+	for i, v := range s {
+		z := (v - med) / mad
+		if z < 0 {
+			z = 0
+		}
+		out[i] = z
+	}
+	return out
+}
+
+// movingQuantileThreshold is a helper: the q-quantile of scores, used by
+// the random-search trainer to seed threshold candidates.
+func scoreQuantile(s []float64, q float64) float64 {
+	return mathx.Quantile(s, q)
+}

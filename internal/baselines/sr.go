@@ -1,0 +1,158 @@
+package baselines
+
+import (
+	"math"
+	"math/cmplx"
+
+	"dbcatcher/internal/mathx"
+)
+
+// SRDetector implements the Spectral Residual saliency method [8] as used
+// for time series by Ren et al.: the spectral residual of the log
+// amplitude spectrum highlights "salient" points, and the score compares
+// the saliency map against its local average.
+type SRDetector struct {
+	// AvgWindow is the width of the spectral mean filter (default 3).
+	AvgWindow int
+	// LocalWindow is the width of the saliency-map local average used in
+	// the final score (default 21).
+	LocalWindow int
+	// EstimatedPoints extends the series tail before the transform, as the
+	// SR paper does, to stabilize the last points (default 5).
+	EstimatedPoints int
+}
+
+// Name implements PointScorer.
+func (s SRDetector) Name() string { return "SR" }
+
+// Scores implements PointScorer.
+func (s SRDetector) Scores(x []float64) []float64 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	if n < 8 {
+		return make([]float64, n)
+	}
+	avgW := s.AvgWindow
+	if avgW <= 0 {
+		avgW = 3
+	}
+	localW := s.LocalWindow
+	if localW <= 0 {
+		localW = 21
+	}
+	est := s.EstimatedPoints
+	if est <= 0 {
+		est = 5
+	}
+
+	// Tail extension: append `est` copies of an extrapolated point.
+	work := make([]float64, 0, n+est)
+	work = append(work, x...)
+	extrap := extrapolate(x)
+	for i := 0; i < est; i++ {
+		work = append(work, extrap)
+	}
+
+	m := len(work)
+	spec := mathx.RealFFT(work)
+	amp := make([]float64, m)
+	phase := make([]float64, m)
+	logAmp := make([]float64, m)
+	for i, c := range spec {
+		amp[i] = cmplx.Abs(c)
+		phase[i] = cmplx.Phase(c)
+		logAmp[i] = math.Log(amp[i] + 1e-12)
+	}
+	avgLog := mathx.MovingAverage(logAmp, avgW)
+	// Spectral residual -> back to the time domain with original phase.
+	recon := make([]complex128, m)
+	for i := range recon {
+		r := math.Exp(logAmp[i] - avgLog[i])
+		recon[i] = cmplx.Rect(r, phase[i])
+	}
+	sal := mathx.RealIFFT(recon)
+	saliency := make([]float64, m)
+	for i, v := range sal {
+		saliency[i] = math.Abs(v)
+	}
+	saliency = saliency[:n]
+
+	// Final score: relative deviation from the local saliency average.
+	local := mathx.MovingAverage(saliency, localW)
+	out := make([]float64, n)
+	for i := range out {
+		denom := local[i]
+		if denom <= 1e-12 {
+			denom = 1e-12
+		}
+		v := (saliency[i] - local[i]) / denom
+		if v < 0 {
+			v = 0
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// extrapolate estimates the next value from the gradient of the last few
+// points (the SR paper's tail handling).
+func extrapolate(x []float64) float64 {
+	n := len(x)
+	m := 5
+	if n < m+1 {
+		return x[n-1]
+	}
+	// Average gradient from the last point to each of the m before it.
+	var grad float64
+	last := x[n-1]
+	for i := 1; i <= m; i++ {
+		grad += (last - x[n-1-i]) / float64(i)
+	}
+	grad /= float64(m)
+	return last + grad
+}
+
+// Saliency exposes the raw SR saliency map (SR-CNN trains on it).
+func (s SRDetector) Saliency(x []float64) []float64 {
+	n := len(x)
+	if n < 8 {
+		return make([]float64, n)
+	}
+	// Reuse Scores' internals up to the saliency map by recomputing; the
+	// duplicate cost is negligible next to training.
+	est := s.EstimatedPoints
+	if est <= 0 {
+		est = 5
+	}
+	avgW := s.AvgWindow
+	if avgW <= 0 {
+		avgW = 3
+	}
+	work := make([]float64, 0, n+est)
+	work = append(work, x...)
+	extrap := extrapolate(x)
+	for i := 0; i < est; i++ {
+		work = append(work, extrap)
+	}
+	m := len(work)
+	spec := mathx.RealFFT(work)
+	logAmp := make([]float64, m)
+	phase := make([]float64, m)
+	for i, c := range spec {
+		logAmp[i] = math.Log(cmplx.Abs(c) + 1e-12)
+		phase[i] = cmplx.Phase(c)
+	}
+	avgLog := mathx.MovingAverage(logAmp, avgW)
+	recon := make([]complex128, m)
+	for i := range recon {
+		recon[i] = cmplx.Rect(math.Exp(logAmp[i]-avgLog[i]), phase[i])
+	}
+	sal := mathx.RealIFFT(recon)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Abs(sal[i])
+	}
+	return out
+}

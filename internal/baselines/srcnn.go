@@ -1,0 +1,183 @@
+package baselines
+
+import (
+	"dbcatcher/internal/mathx"
+)
+
+// SRCNN implements the SR-CNN baseline [14]: the Spectral Residual
+// saliency map is fed to a small 1-D convolutional network that was
+// trained, as in the original paper, on *synthetically injected* anomalies
+// over presumed-normal data — no manual labels are consumed.
+//
+// Architecture (reduced scale): saliency window (width W) -> conv1d(K
+// kernels of width 7) -> ReLU -> dense -> sigmoid. The output is the
+// probability that the window's center point is anomalous.
+type SRCNN struct {
+	// Window is the saliency context width (odd; default 31).
+	Window int
+	// Filters is the convolution filter count (default 8).
+	Filters int
+	// Epochs over the synthetic training set (default 3).
+	Epochs int
+	// LearningRate for SGD (default 0.05).
+	LearningRate float64
+	// InjectionRate is the fraction of synthetic anomaly points during
+	// training (default 0.05).
+	InjectionRate float64
+	// Seed drives initialization, injection, and shuffling.
+	Seed uint64
+
+	sr    SRDetector
+	conv  *conv1d
+	out   *dense
+	ready bool
+}
+
+// NewSRCNN returns an untrained model with default hyperparameters.
+func NewSRCNN(seed uint64) *SRCNN {
+	return &SRCNN{
+		Window:        31,
+		Filters:       8,
+		Epochs:        3,
+		LearningRate:  0.05,
+		InjectionRate: 0.05,
+		Seed:          seed,
+	}
+}
+
+// Name implements PointScorer.
+func (m *SRCNN) Name() string { return "SR-CNN" }
+
+// Fit trains the CNN on the given normal series with synthetic anomaly
+// injection (the SR-CNN training protocol).
+func (m *SRCNN) Fit(normal [][]float64) {
+	rng := mathx.NewRNG(m.Seed)
+	m.conv = newConv1d(7, m.Filters, rng.Split(1))
+	convOut := m.Window - 7 + 1
+	m.out = newDense(m.Filters*convOut, 1, rng.Split(2))
+
+	type example struct {
+		window []float64
+		label  float64
+	}
+	var examples []example
+	for _, series := range normal {
+		if len(series) < m.Window*2 {
+			continue
+		}
+		// Inject synthetic spikes: x_i <- (local mean + 2*std) * (1+noise).
+		injected := mathx.Clone(series)
+		labels := make([]float64, len(series))
+		mean := mathx.Mean(series)
+		std := mathx.Std(series)
+		for i := range injected {
+			if rng.Bool(m.InjectionRate) {
+				injected[i] = mean + (2+rng.Float64()*2)*std*(1+0.3*rng.Norm())
+				labels[i] = 1
+			}
+		}
+		sal := normalizeScores(m.sr.Saliency(injected))
+		half := m.Window / 2
+		for i := half; i < len(sal)-half; i++ {
+			// Subsample negatives to balance classes.
+			if labels[i] == 0 && !rng.Bool(2*m.InjectionRate) {
+				continue
+			}
+			examples = append(examples, example{
+				window: sal[i-half : i+half+1],
+				label:  labels[i],
+			})
+		}
+	}
+	if len(examples) == 0 {
+		m.ready = true
+		return
+	}
+	for epoch := 0; epoch < m.Epochs; epoch++ {
+		rng.Shuffle(len(examples), func(i, j int) {
+			examples[i], examples[j] = examples[j], examples[i]
+		})
+		for _, ex := range examples {
+			m.trainStep(ex.window, ex.label)
+		}
+	}
+	m.ready = true
+}
+
+// trainStep runs one SGD step with binary cross-entropy loss.
+func (m *SRCNN) trainStep(win []float64, label float64) {
+	conv := m.conv.forward(win)
+	relu, flat := m.flatten(conv)
+	logit := m.out.forward(flat)
+	p := sigmoid(logit[0])
+	// dL/dlogit for BCE.
+	dlogit := []float64{p - label}
+	dflat := m.out.backward(flat, dlogit)
+	dconv := m.unflatten(dflat, relu)
+	m.conv.backward(win, dconv)
+	m.out.step(m.LearningRate)
+	m.conv.step(m.LearningRate)
+}
+
+// flatten applies ReLU and flattens the conv activations. It returns the
+// relu mask (post-activation values) and the flat vector.
+func (m *SRCNN) flatten(conv [][]float64) ([][]float64, []float64) {
+	relu := make([][]float64, len(conv))
+	flat := make([]float64, 0, len(conv)*len(conv[0]))
+	for f, row := range conv {
+		r := make([]float64, len(row))
+		for i, v := range row {
+			if v > 0 {
+				r[i] = v
+			}
+		}
+		relu[f] = r
+		flat = append(flat, r...)
+	}
+	return relu, flat
+}
+
+// unflatten routes flat gradients back through the ReLU.
+func (m *SRCNN) unflatten(dflat []float64, relu [][]float64) [][]float64 {
+	dconv := make([][]float64, len(relu))
+	idx := 0
+	for f, row := range relu {
+		dr := make([]float64, len(row))
+		for i := range row {
+			if row[i] > 0 {
+				dr[i] = dflat[idx]
+			}
+			idx++
+		}
+		dconv[f] = dr
+	}
+	return dconv
+}
+
+// Scores implements PointScorer. An unfitted model falls back to plain SR
+// saliency scores.
+func (m *SRCNN) Scores(x []float64) []float64 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	sal := normalizeScores(m.sr.Saliency(x))
+	if !m.ready || m.conv == nil || n < m.Window {
+		return sal
+	}
+	out := make([]float64, n)
+	half := m.Window / 2
+	for i := half; i < n-half; i++ {
+		conv := m.conv.forward(sal[i-half : i+half+1])
+		_, flat := m.flatten(conv)
+		out[i] = sigmoid(m.out.forward(flat)[0])
+	}
+	// Edge points reuse the nearest interior score.
+	for i := 0; i < half; i++ {
+		out[i] = out[half]
+	}
+	for i := n - half; i < n; i++ {
+		out[i] = out[n-half-1]
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+package baselines
+
+import (
+	"time"
+
+	"dbcatcher/internal/dataset"
+	"dbcatcher/internal/mathx"
+)
+
+// Univariate adapts a PointScorer (FFT, SR, SR-CNN) to the Method
+// interface using the paper's protocol for univariate detectors: the same
+// KPI's series across the unit's databases form one dimension (scored per
+// database, aggregated by max), and the k-of-M rule over the M = 14 KPI
+// dimensions declares a window abnormal (§IV-B).
+type Univariate struct {
+	// Label is the method name in tables.
+	Label string
+	// Build constructs a fresh scorer for a training run; the scorer may
+	// be stateful (SR-CNN trains a CNN).
+	Build func(seed uint64) PointScorer
+	// FitNormal, when non-nil, receives presumed-normal training series
+	// so the scorer can fit itself (SR-CNN's synthetic-injection
+	// training).
+	FitNormal func(scorer PointScorer, normal [][]float64)
+
+	scorer PointScorer
+	best   params
+	ready  bool
+}
+
+// Name implements Method.
+func (m *Univariate) Name() string { return m.Label }
+
+// Train implements Method.
+func (m *Univariate) Train(train []*dataset.UnitData, seed uint64) (TrainInfo, error) {
+	start := time.Now()
+	rng := mathx.NewRNG(seed)
+	m.scorer = m.Build(seed)
+	if m.FitNormal != nil {
+		m.FitNormal(m.scorer, normalSeries(train, 40, rng))
+	}
+	scores := m.scoreUnits(train)
+	p, f := searchParams(scores, 3, rng)
+	m.best = p
+	m.ready = true
+	return TrainInfo{Duration: time.Since(start), BestF: f, WindowSize: p.windowSize}, nil
+}
+
+// Evaluate implements Method.
+func (m *Univariate) Evaluate(test []*dataset.UnitData) (Result, error) {
+	if !m.ready {
+		return Result{}, errNotTrained
+	}
+	scores := m.scoreUnits(test)
+	c := judgeAll(scores, m.best)
+	return Result{Confusion: c, AvgWindowSize: float64(m.best.windowSize)}, nil
+}
+
+// scoreUnits computes the per-KPI dimension scores of every unit: each
+// database's series is scored independently and the dimension takes the
+// per-tick maximum across databases.
+func (m *Univariate) scoreUnits(units []*dataset.UnitData) []unitScores {
+	out := make([]unitScores, len(units))
+	for i, u := range units {
+		kpis := u.Unit.Series.KPIs
+		dbs := u.Unit.Series.Databases
+		n := u.Unit.Series.Len()
+		dims := make([][]float64, kpis)
+		for k := 0; k < kpis; k++ {
+			dim := make([]float64, n)
+			for d := 0; d < dbs; d++ {
+				s := m.scorer.Scores(u.Unit.Series.Data[k][d].Values)
+				for t, v := range s {
+					if v > dim[t] {
+						dim[t] = v
+					}
+				}
+			}
+			dims[k] = dim
+		}
+		out[i] = unitScores{dims: dims, labels: u.Labels}
+	}
+	return out
+}
+
+// normalSeries samples up to maxSeries healthy series fragments from the
+// training units for scorer self-fitting.
+func normalSeries(train []*dataset.UnitData, maxSeries int, rng *mathx.RNG) [][]float64 {
+	var out [][]float64
+	for len(out) < maxSeries && len(train) > 0 {
+		u := train[rng.Intn(len(train))]
+		k := rng.Intn(u.Unit.Series.KPIs)
+		d := rng.Intn(u.Unit.Series.Databases)
+		out = append(out, u.Unit.Series.Data[k][d].Values)
+	}
+	return out
+}
+
+// NewFFTMethod builds the FFT baseline as a Method.
+func NewFFTMethod() *Univariate {
+	return &Univariate{
+		Label: "FFT",
+		Build: func(uint64) PointScorer { return FFTDetector{} },
+	}
+}
+
+// NewSRMethod builds the Spectral Residual baseline as a Method.
+func NewSRMethod() *Univariate {
+	return &Univariate{
+		Label: "SR",
+		Build: func(uint64) PointScorer { return SRDetector{} },
+	}
+}
+
+// NewSRCNNMethod builds the SR-CNN baseline as a Method.
+func NewSRCNNMethod() *Univariate {
+	return &Univariate{
+		Label: "SR-CNN",
+		Build: func(seed uint64) PointScorer { return NewSRCNN(seed) },
+		FitNormal: func(s PointScorer, normal [][]float64) {
+			s.(*SRCNN).Fit(normal)
+		},
+	}
+}
+
+// markTicks implements the ensemble tick-marking hook.
+func (m *Univariate) markTicks(u *dataset.UnitData) ([]bool, error) {
+	if !m.ready {
+		return nil, errNotTrained
+	}
+	scores := m.scoreUnits([]*dataset.UnitData{u})
+	return markWindowTicks(scores[0], m.best, u.Unit.Series.Len()), nil
+}

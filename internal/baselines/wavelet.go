@@ -1,0 +1,92 @@
+package baselines
+
+import (
+	"math"
+
+	"dbcatcher/internal/mathx"
+)
+
+// WaveletDetector implements the wavelet-analysis baseline of the related
+// work [38]: a multi-level Haar discrete wavelet transform decomposes the
+// series, and a point's anomaly score aggregates the magnitude of the
+// detail (high-frequency) coefficients covering it at the finest levels —
+// sharp local changes concentrate energy there.
+type WaveletDetector struct {
+	// Levels of decomposition whose details contribute to the score
+	// (default 3).
+	Levels int
+}
+
+// Name implements PointScorer.
+func (w WaveletDetector) Name() string { return "Wavelet" }
+
+// Scores implements PointScorer.
+func (w WaveletDetector) Scores(x []float64) []float64 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	levels := w.Levels
+	if levels <= 0 {
+		levels = 3
+	}
+	if n < 8 {
+		return make([]float64, n)
+	}
+	// Pad to a power of two by edge replication.
+	m := mathx.NextPow2(n)
+	work := make([]float64, m)
+	copy(work, x)
+	for i := n; i < m; i++ {
+		work[i] = x[n-1]
+	}
+	score := make([]float64, n)
+	// Iterative Haar: at each level, approximations halve; detail d_i =
+	// (a_{2i} - a_{2i+1})/sqrt(2) covers a block of 2^level input points.
+	approx := work
+	blk := 1
+	for lv := 0; lv < levels && len(approx) >= 2; lv++ {
+		half := len(approx) / 2
+		next := make([]float64, half)
+		detail := make([]float64, half)
+		for i := 0; i < half; i++ {
+			a, b := approx[2*i], approx[2*i+1]
+			next[i] = (a + b) / math.Sqrt2
+			detail[i] = (a - b) / math.Sqrt2
+		}
+		blk *= 2
+		// Robust-normalize this level's details, then splat each block's
+		// magnitude onto the points it covers, weighting finer levels more.
+		normed := normalizeScores(absAll(detail))
+		weight := 1 / float64(lv+1)
+		for i, v := range normed {
+			lo := i * blk
+			hi := lo + blk
+			if hi > n {
+				hi = n
+			}
+			for p := lo; p < hi && p < n; p++ {
+				score[p] += weight * v
+			}
+		}
+		approx = next
+	}
+	return score
+}
+
+func absAll(v []float64) []float64 {
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = math.Abs(x)
+	}
+	return out
+}
+
+// NewWaveletMethod builds the wavelet baseline as a Method (available for
+// extended comparisons beyond the paper's five).
+func NewWaveletMethod() *Univariate {
+	return &Univariate{
+		Label: "Wavelet",
+		Build: func(uint64) PointScorer { return WaveletDetector{} },
+	}
+}

@@ -1,0 +1,123 @@
+// Package cluster simulates a cloud-database unit (Fig. 2 of the paper):
+// one primary database and several replicas behind a load balancer, each
+// emitting the 14 KPI time series of Table II at 5-second ticks.
+//
+// The simulator is the substitution for the paper's production traces (see
+// DESIGN.md): all databases of a unit are driven by a shared unit-level
+// demand process, individually distorted by per-database gains, collection
+// delays, measurement noise, and benign temporal fluctuations. This
+// reproduces the UKPIC phenomenon — correlated trends with point-in-time
+// delays — that DBCatcher exploits, and the role split (primary vs
+// replica) reproduces the P-R vs R-R correlation types of Table II.
+package cluster
+
+import "dbcatcher/internal/mathx"
+
+// Balancer decides each database's share of the unit's read traffic at
+// every tick. Shares are non-negative and sum to 1.
+type Balancer interface {
+	// Shares returns the read-traffic fraction per database for tick t.
+	// The returned slice may be reused between calls.
+	Shares(t int) []float64
+}
+
+// UniformBalancer spreads reads evenly with small per-tick jitter,
+// modelling a healthy load-balancing module ("the number of SQLs processed
+// by each database is similar", §II-B).
+type UniformBalancer struct {
+	rng    *mathx.RNG
+	n      int
+	jitter float64
+	buf    []float64
+}
+
+// NewUniformBalancer returns a balancer over n databases whose per-tick
+// shares deviate from 1/n by a relative jitter (e.g. 0.05 for ±5%).
+func NewUniformBalancer(n int, jitter float64, rng *mathx.RNG) *UniformBalancer {
+	return &UniformBalancer{rng: rng, n: n, jitter: jitter, buf: make([]float64, n)}
+}
+
+// Shares implements Balancer.
+func (b *UniformBalancer) Shares(int) []float64 {
+	var sum float64
+	for i := range b.buf {
+		w := 1 + b.rng.NormMeanStd(0, b.jitter)
+		if w < 0.01 {
+			w = 0.01
+		}
+		b.buf[i] = w
+		sum += w
+	}
+	for i := range b.buf {
+		b.buf[i] /= sum
+	}
+	return b.buf
+}
+
+// WeightedBalancer applies fixed relative weights (capacity-aware routing)
+// with jitter. It generalizes UniformBalancer.
+type WeightedBalancer struct {
+	rng     *mathx.RNG
+	weights []float64
+	jitter  float64
+	buf     []float64
+}
+
+// NewWeightedBalancer returns a balancer using the given positive weights.
+func NewWeightedBalancer(weights []float64, jitter float64, rng *mathx.RNG) *WeightedBalancer {
+	w := mathx.Clone(weights)
+	return &WeightedBalancer{rng: rng, weights: w, jitter: jitter, buf: make([]float64, len(w))}
+}
+
+// Shares implements Balancer.
+func (b *WeightedBalancer) Shares(int) []float64 {
+	var sum float64
+	for i, base := range b.weights {
+		w := base * (1 + b.rng.NormMeanStd(0, b.jitter))
+		if w < 0.001 {
+			w = 0.001
+		}
+		b.buf[i] = w
+		sum += w
+	}
+	for i := range b.buf {
+		b.buf[i] /= sum
+	}
+	return b.buf
+}
+
+// DefectiveBalancer reproduces the Fig. 4 incident: from StartTick on, a
+// defective strategy maps an excessive fraction of SQL to one target
+// database, starving the others. Before StartTick it behaves uniformly.
+type DefectiveBalancer struct {
+	inner     Balancer
+	Target    int
+	StartTick int
+	// Skew is the extra share routed to Target (0.3 means the target gets
+	// its fair share plus 30 points of everyone else's traffic).
+	Skew float64
+	buf  []float64
+}
+
+// NewDefectiveBalancer wraps inner and skews traffic toward target after
+// startTick.
+func NewDefectiveBalancer(inner Balancer, target, startTick int, skew float64) *DefectiveBalancer {
+	return &DefectiveBalancer{inner: inner, Target: target, StartTick: startTick, Skew: skew}
+}
+
+// Shares implements Balancer.
+func (b *DefectiveBalancer) Shares(t int) []float64 {
+	base := b.inner.Shares(t)
+	if t < b.StartTick {
+		return base
+	}
+	if b.buf == nil {
+		b.buf = make([]float64, len(base))
+	}
+	// Take Skew proportionally from everyone and give it to the target.
+	for i, s := range base {
+		b.buf[i] = s * (1 - b.Skew)
+	}
+	b.buf[b.Target] += b.Skew
+	return b.buf
+}

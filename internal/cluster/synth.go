@@ -1,0 +1,179 @@
+package cluster
+
+import (
+	"math"
+
+	"dbcatcher/internal/kpi"
+	"dbcatcher/internal/mathx"
+	"dbcatcher/internal/workload"
+)
+
+// dbSynth turns the unit demand into one database's 14 KPI observations.
+// Each database has its own multiplicative gains (absolute values differ
+// between databases — Fig. 3a), an AR(1) measurement-noise channel per
+// KPI, and a benign-fluctuation process. Replicas share the replication
+// stream, so their write-counter KPIs track each other (R-R correlation);
+// the primary's statement counters carry an extra independent component
+// from client-side execution, which weakens P-R correlation exactly for
+// the R-R-typed KPIs of Table II.
+type dbSynth struct {
+	role  Role
+	delay int
+	rng   *mathx.RNG
+
+	gain      [kpi.Count]float64 // per-KPI multiplicative gain
+	noise     [kpi.Count]float64 // AR(1) noise state
+	noisePhi  float64
+	noiseStd  float64
+	capacity  float64 // CPU saturation scale (requests/s at ~63% util)
+	capBytes  float64 // accumulated Real Capacity in MB
+	ownStmt   float64 // primary-only AR(1) statement overhead state
+	fluctLeft int     // remaining ticks of the active benign fluctuation
+	fluctGain float64
+	fluctKPIs []int
+}
+
+// Per-request resource factors shared by all databases of a unit (the
+// transaction mix is unit-wide; §II-B reason 2).
+const (
+	bufferPoolPagesPerRead = 48
+	rowsReadPerRead        = 22
+	rowsPerWrite           = 3.2
+	dataWritesPerWrite     = 1.8  // fsync-ish IOPS per write
+	bytesPerWrite          = 5200 // bytes written per write request
+	insertFrac             = 0.38
+	updateFrac             = 0.42
+	deleteFrac             = 0.08
+	txnPerWrite            = 0.55
+	cpuPerRead             = 1.0
+	cpuPerWrite            = 2.6
+)
+
+func newDBSynth(role Role, delay int, rng *mathx.RNG) *dbSynth {
+	s := &dbSynth{
+		role:     role,
+		delay:    delay,
+		rng:      rng,
+		noisePhi: 0.6,
+		noiseStd: 0.01,
+		capacity: rng.Range(5000, 7000),
+		capBytes: rng.Range(8000, 12000),
+	}
+	for k := range s.gain {
+		s.gain[k] = rng.Range(0.8, 1.25)
+	}
+	return s
+}
+
+// tick produces the KPI row for one data point given the (possibly
+// delayed) unit demand and this database's read share.
+func (s *dbSynth) tick(d workload.Demand, share float64, fluctuationRate float64) [kpi.Count]float64 {
+	r := d.Read * share // this database's read req/s
+	w := d.Write        // replication delivers all writes everywhere
+
+	// Primary-only extra statement activity (ad-hoc client statements,
+	// DDL, etc). A slow AR(1) process around ~25% of the write level.
+	if s.role == Primary {
+		s.ownStmt = 0.98*s.ownStmt + s.rng.NormMeanStd(0, 0.06*w+1)
+	}
+	own := math.Abs(s.ownStmt)
+
+	// Benign temporal fluctuation lifecycle. Fluctuations are *minor*
+	// deviations at individual points (§II-D) — strong enough to depress a
+	// short window's correlation into the "slight deviation" band, never
+	// into extreme deviation. The flexible window absorbs them.
+	if s.fluctLeft == 0 && s.rng.Bool(fluctuationRate) {
+		s.fluctLeft = 1 + s.rng.Intn(3)
+		s.fluctGain = s.rng.Range(1.15, 1.5)
+		// A maintenance task touches CPU plus one random KPI. Real
+		// Capacity is a storage level no short task moves.
+		other := s.rng.Intn(kpi.Count)
+		for other == int(kpi.RealCapacity) {
+			other = s.rng.Intn(kpi.Count)
+		}
+		s.fluctKPIs = []int{int(kpi.CPUUtilization), other}
+	}
+
+	var row [kpi.Count]float64
+	handledWrites := w // executes (primary) or applies (replica) all writes
+
+	row[kpi.RequestsPerSecond] = r + handledWrites
+	row[kpi.TotalRequests] = (r + handledWrites) * 5 // per 5 s interval
+	row[kpi.BufferPoolReadRequests] = r * bufferPoolPagesPerRead
+	row[kpi.InnodbRowsRead] = r * rowsReadPerRead
+	row[kpi.InnodbRowsUpdated] = w * updateFrac * rowsPerWrite
+	row[kpi.InnodbDataWrites] = w * dataWritesPerWrite
+	row[kpi.InnodbDataWritten] = w * bytesPerWrite
+
+	// R-R KPIs: statement counters; the primary adds its own component.
+	row[kpi.ComInsert] = w*insertFrac + ownShare(s.role, own, insertFrac)
+	row[kpi.ComUpdate] = w*updateFrac + ownShare(s.role, own, updateFrac)
+	row[kpi.InnodbRowsInserted] = w*insertFrac*rowsPerWrite + ownShare(s.role, own, insertFrac*rowsPerWrite)
+	row[kpi.InnodbRowsDeleted] = w*deleteFrac*rowsPerWrite + ownShare(s.role, own, deleteFrac*rowsPerWrite)
+	row[kpi.TransactionsPerSecond] = w*txnPerWrite + ownShare(s.role, own, txnPerWrite)
+
+	// CPU saturates toward 100%.
+	load := r*cpuPerRead + w*cpuPerWrite
+	row[kpi.CPUUtilization] = 100 * (1 - math.Exp(-load/s.capacity))
+
+	// Real Capacity integrates net written bytes (MB) and grows slowly.
+	s.capBytes += w * bytesPerWrite * 5 / 1e6 * s.rng.Range(0.9, 1.1)
+	row[kpi.RealCapacity] = s.capBytes
+
+	// Apply per-DB gain and AR(1) multiplicative noise. Two exceptions:
+	// Real Capacity is a cumulative level (noising the level would drown
+	// its within-window trend — its randomness lives in the increment
+	// above), and CPU utilization saturates (multiplicative noise on a
+	// compressed level would drown the compressed signal), so CPU gets a
+	// small additive measurement error instead.
+	for k := range row {
+		switch k {
+		case int(kpi.RealCapacity):
+			row[k] *= s.gain[k]
+		case int(kpi.CPUUtilization):
+			s.noise[k] = s.noisePhi*s.noise[k] + s.rng.NormMeanStd(0, s.noiseStd)
+			// Jitter shrinks toward both saturation (100%) and idle (0%),
+			// as real utilization sampling does.
+			headroom := row[k]
+			if 100-row[k] < headroom {
+				headroom = 100 - row[k]
+			}
+			row[k] += 0.5 * headroom * s.noise[k]
+		default:
+			s.noise[k] = s.noisePhi*s.noise[k] + s.rng.NormMeanStd(0, s.noiseStd)
+			factor := s.gain[k] * (1 + s.noise[k])
+			if factor < 0 {
+				factor = 0
+			}
+			row[k] *= factor
+		}
+	}
+
+	// Benign fluctuation distorts its chosen KPIs for a few ticks.
+	if s.fluctLeft > 0 {
+		for _, k := range s.fluctKPIs {
+			row[k] *= s.fluctGain
+		}
+		s.fluctLeft--
+	}
+
+	// Physical bounds.
+	if row[kpi.CPUUtilization] > 100 {
+		row[kpi.CPUUtilization] = 100
+	}
+	for k := range row {
+		if row[k] < 0 {
+			row[k] = 0
+		}
+	}
+	return row
+}
+
+// ownShare returns the primary's extra statement contribution for an
+// R-R-typed KPI; replicas contribute nothing.
+func ownShare(role Role, own, scale float64) float64 {
+	if role != Primary {
+		return 0
+	}
+	return own * scale * 4
+}

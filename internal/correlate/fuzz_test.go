@@ -1,0 +1,40 @@
+package correlate
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzKCD drives the delay scan with arbitrary byte-derived windows: the
+// score must always be a finite value in [-1, 1] and symmetric, for both
+// the direct and FFT paths.
+func FuzzKCD(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, []byte{8, 7, 6, 5, 4, 3, 2, 1})
+	f.Add([]byte{0, 0, 0, 0}, []byte{1, 1, 1, 1})
+	f.Add([]byte{255}, []byte{0})
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		if n == 0 || n > 256 {
+			return
+		}
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := 0; i < n; i++ {
+			x[i] = float64(a[i]) - 100
+			y[i] = float64(b[i]) * 3
+		}
+		for _, opts := range []Options{DefaultOptions(), DetectionOptions(),
+			{MaxDelayFraction: 0.5, Normalize: true, UseFFT: true}} {
+			s := KCD(x, y, opts)
+			if math.IsNaN(s) || s < -1-1e-9 || s > 1+1e-9 {
+				t.Fatalf("KCD out of range: %v (opts %+v)", s, opts)
+			}
+			if r := KCD(y, x, opts); math.Abs(r-s) > 1e-9 {
+				t.Fatalf("asymmetric: %v vs %v", s, r)
+			}
+		}
+	})
+}

@@ -1,0 +1,231 @@
+// Package correlate implements the paper's time-series correlation
+// measurement: the Key Correlation Distance (KCD, Eq. 1-4), the per-KPI
+// correlation matrices (Eq. 5), and the alternative correlation measures
+// DBCatcher is compared against (Pearson, Spearman, dynamic time warping).
+package correlate
+
+import (
+	"math"
+
+	"dbcatcher/internal/mathx"
+)
+
+// Options configures a KCD computation.
+type Options struct {
+	// MaxDelayFraction bounds the delay scan: the maximum |s| is
+	// round(fraction * n). The paper uses m = n/2 (s ∈ [1, m], n = 2m).
+	// Values <= 0 default to 0.5.
+	MaxDelayFraction float64
+	// MaxDelayPoints, when positive, additionally caps the scanned delay
+	// at an absolute number of points. Collection delays are small and
+	// "essentially the same in a time window" (§IV-D1), so capping the
+	// scan at the realistic delay bound sharpens the contrast between
+	// correlated and deviating windows: an unconstrained scan lets an
+	// abnormal window rescue itself by aligning at some large spurious
+	// lag. The detection pipeline uses 4; 0 disables the cap.
+	MaxDelayPoints int
+	// UseFFT selects the O(n log n) cross-correlation path instead of the
+	// direct O(n·m) scan. Both produce identical scores.
+	UseFFT bool
+	// Normalize applies min-max scaling (Eq. 1) before correlating. The
+	// paper always normalizes; tests may disable it.
+	Normalize bool
+}
+
+// DefaultOptions mirrors the paper's setup: scan delays up to n/2 on
+// min-max-normalized windows using the direct path.
+func DefaultOptions() Options {
+	return Options{MaxDelayFraction: 0.5, Normalize: true}
+}
+
+// DetectionOptions is the configuration the detection pipeline uses: the
+// n/2 scan capped at ±4 points, covering realistic collection delays
+// without letting spurious lag alignments mask anomalies.
+func DetectionOptions() Options {
+	return Options{MaxDelayFraction: 0.5, MaxDelayPoints: 4, Normalize: true}
+}
+
+func (o Options) maxDelay(n int) int {
+	f := o.MaxDelayFraction
+	if f <= 0 {
+		f = 0.5
+	}
+	m := int(f * float64(n))
+	if o.MaxDelayPoints > 0 && m > o.MaxDelayPoints {
+		m = o.MaxDelayPoints
+	}
+	if m >= n {
+		m = n - 1
+	}
+	if m < 0 {
+		m = 0
+	}
+	return m
+}
+
+// KCD returns the Key Correlation Distance between two aligned windows of
+// equal length: the maximum, over point-in-time delays s with |s| <= m, of
+// the normalized correlation between the overlapping portions (Eq. 2-4).
+// The score lies in [-1, 1]; values near 1 mean the trends correlate, low
+// values indicate abnormal divergence.
+//
+// Degenerate windows: if both windows are constant the trends trivially
+// agree and KCD is 1; if exactly one is constant KCD is 0.
+func KCD(x, y []float64, opts Options) float64 {
+	score, _ := KCDWithDelay(x, y, opts)
+	return score
+}
+
+// KCDWithDelay is KCD but also reports the delay s at which the maximum
+// correlation was found (positive s means x lags y).
+func KCDWithDelay(x, y []float64, opts Options) (score float64, delay int) {
+	n := len(x)
+	if len(y) != n {
+		panic(mathx.ErrLengthMismatch)
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	if opts.Normalize {
+		x = mathx.Normalize(x)
+		y = mathx.Normalize(y)
+	}
+	// Center by the full-window means (ave(x), ave(y) in Eq. 3).
+	mx, my := mathx.Mean(x), mathx.Mean(y)
+	xc := make([]float64, n)
+	yc := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xc[i] = x[i] - mx
+		yc[i] = y[i] - my
+	}
+	constX := allZero(xc)
+	constY := allZero(yc)
+	if constX && constY {
+		return 1, 0
+	}
+	if constX || constY {
+		return 0, 0
+	}
+	m := opts.maxDelay(n)
+	if opts.UseFFT {
+		return kcdFFT(xc, yc, m)
+	}
+	return kcdDirect(xc, yc, m)
+}
+
+func allZero(v []float64) bool {
+	for _, x := range v {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// tieEps breaks ties in the delay scan: a longer delay must beat the
+// incumbent by more than this to win, so that among equally good alignments
+// (e.g. one signal period apart) the smallest |s| is reported.
+const tieEps = 1e-12
+
+// delayScanOrder yields 0, 1, -1, 2, -2, ..., m, -m so that combined with
+// tieEps the smallest-magnitude delay wins ties.
+func delayScanOrder(m int) []int {
+	out := make([]int, 0, 2*m+1)
+	out = append(out, 0)
+	for s := 1; s <= m; s++ {
+		out = append(out, s, -s)
+	}
+	return out
+}
+
+// kcdDirect scans delays with the straightforward O(n·m) loop.
+func kcdDirect(xc, yc []float64, m int) (float64, int) {
+	n := len(xc)
+	epsX, epsY := energyEps(xc), energyEps(yc)
+	best := math.Inf(-1)
+	bestDelay := 0
+	for _, s := range delayScanOrder(m) {
+		var num, nx, ny float64
+		if s >= 0 {
+			// Compare x[s:] against y[:n-s] (Eq. 2, Eq. 3 first case).
+			for i := 0; i < n-s; i++ {
+				a, b := xc[i+s], yc[i]
+				num += a * b
+				nx += a * a
+				ny += b * b
+			}
+		} else {
+			// Eq. 3 second case: x[:n+s] against y[-s:].
+			for i := 0; i < n+s; i++ {
+				a, b := xc[i], yc[i-s]
+				num += a * b
+				nx += a * a
+				ny += b * b
+			}
+		}
+		score := safeRatio(num, nx, ny, epsX, epsY)
+		if score > best+tieEps {
+			best = score
+			bestDelay = s
+		}
+	}
+	return best, bestDelay
+}
+
+// kcdFFT computes every lag's numerator with one FFT cross-correlation and
+// the per-lag norms from prefix sums of squares, for O(n log n) total.
+func kcdFFT(xc, yc []float64, m int) (float64, int) {
+	n := len(xc)
+	// full[k + n - 1] = sum_i xc[i+k]*yc[i].
+	full := mathx.CrossCorrelateFFT(xc, yc)
+	// Prefix sums of squares: px[i] = sum of xc[0:i]^2.
+	px := make([]float64, n+1)
+	py := make([]float64, n+1)
+	for i := 0; i < n; i++ {
+		px[i+1] = px[i] + xc[i]*xc[i]
+		py[i+1] = py[i] + yc[i]*yc[i]
+	}
+	epsX, epsY := energyEps(xc), energyEps(yc)
+	best := math.Inf(-1)
+	bestDelay := 0
+	for _, s := range delayScanOrder(m) {
+		num := full[s+n-1]
+		var nx, ny float64
+		if s >= 0 {
+			nx = px[n] - px[s]   // xc[s:]
+			ny = py[n-s] - py[0] // yc[:n-s]
+		} else {
+			nx = px[n+s] - px[0] // xc[:n+s]
+			ny = py[n] - py[-s]  // yc[-s:]
+		}
+		score := safeRatio(num, nx, ny, epsX, epsY)
+		if score > best+tieEps {
+			best = score
+			bestDelay = s
+		}
+	}
+	return best, bestDelay
+}
+
+// energyEps returns the threshold below which an overlap's energy counts
+// as zero variance. It is relative to the window's total energy so that
+// floating-point residue (e.g. a segment exactly equal to the window
+// mean, whose centered values are pure roundoff) cannot masquerade as
+// signal and produce a spurious perfect correlation.
+func energyEps(c []float64) float64 {
+	var total float64
+	for _, v := range c {
+		total += v * v
+	}
+	return 1e-12 * (total + 1e-300)
+}
+
+// safeRatio computes num / (sqrt(nx)·sqrt(ny)) treating (numerically)
+// zero-variance overlaps as uncorrelated, and clamps rounding noise into
+// [-1, 1].
+func safeRatio(num, nx, ny, epsX, epsY float64) float64 {
+	if nx <= epsX || ny <= epsY {
+		return 0
+	}
+	return mathx.Clamp(num/(math.Sqrt(nx)*math.Sqrt(ny)), -1, 1)
+}

@@ -1,0 +1,225 @@
+package correlate
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dbcatcher/internal/mathx"
+)
+
+func sine(n int, period float64, phase float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Sin(2*math.Pi*float64(i)/period + phase)
+	}
+	return out
+}
+
+func TestKCDIdenticalSeries(t *testing.T) {
+	x := sine(64, 16, 0)
+	got := KCD(x, x, DefaultOptions())
+	if math.Abs(got-1) > 1e-9 {
+		t.Fatalf("KCD(x, x) = %v, want 1", got)
+	}
+}
+
+func TestKCDScaledSeries(t *testing.T) {
+	// Min-max normalization makes KCD invariant to affine scaling.
+	x := sine(64, 16, 0)
+	y := make([]float64, len(x))
+	for i := range x {
+		y[i] = 100 + 42*x[i]
+	}
+	got := KCD(x, y, DefaultOptions())
+	if math.Abs(got-1) > 1e-9 {
+		t.Fatalf("KCD of affinely scaled copy = %v, want 1", got)
+	}
+}
+
+func TestKCDRecoversDelay(t *testing.T) {
+	// y is x delayed by 5 points; KCD must find the alignment and report
+	// the delay.
+	n := 80
+	base := sine(n+10, 20, 0)
+	x := base[5 : 5+n] // x leads
+	y := base[:n]      // y is x delayed by 5
+	score, delay := KCDWithDelay(x, y, DefaultOptions())
+	if score < 0.999 {
+		t.Fatalf("KCD with delay = %v, want ~1", score)
+	}
+	if delay != -5 {
+		t.Fatalf("recovered delay = %d, want -5", delay)
+	}
+	// Swap roles: now the delay flips sign.
+	score2, delay2 := KCDWithDelay(y, x, DefaultOptions())
+	if score2 < 0.999 || delay2 != 5 {
+		t.Fatalf("swapped: score=%v delay=%d, want ~1 and 5", score2, delay2)
+	}
+}
+
+func TestKCDBeatsPearsonUnderDelay(t *testing.T) {
+	// The motivating claim of §II-D: with a point-in-time delay Pearson
+	// degrades but KCD stays high.
+	n := 100
+	base := sine(n+8, 12, 0)
+	x := base[8 : 8+n]
+	y := base[:n]
+	p := Pearson(mathx.Normalize(x), mathx.Normalize(y))
+	k := KCD(x, y, DefaultOptions())
+	if k < 0.99 {
+		t.Fatalf("KCD = %v, want ~1 despite delay", k)
+	}
+	if k-p < 0.2 {
+		t.Fatalf("KCD (%v) should clearly beat Pearson (%v) under delay", k, p)
+	}
+}
+
+func TestKCDAnticorrelatedSeries(t *testing.T) {
+	x := sine(64, 64, 0)       // single slow cycle
+	y := sine(64, 64, math.Pi) // inverted
+	got := KCD(x, y, Options{MaxDelayFraction: 0.05, Normalize: true})
+	if got > 0 {
+		t.Fatalf("KCD of anti-phase series with tiny delay budget = %v, want <= 0", got)
+	}
+}
+
+func TestKCDConstantRules(t *testing.T) {
+	c := []float64{5, 5, 5, 5}
+	v := []float64{1, 2, 3, 4}
+	if got := KCD(c, mathx.Clone(c), DefaultOptions()); got != 1 {
+		t.Fatalf("both constant = %v, want 1", got)
+	}
+	if got := KCD(c, v, DefaultOptions()); got != 0 {
+		t.Fatalf("one constant = %v, want 0", got)
+	}
+	if got := KCD(nil, nil, DefaultOptions()); got != 0 {
+		t.Fatalf("empty = %v, want 0", got)
+	}
+}
+
+func TestKCDPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	KCD([]float64{1}, []float64{1, 2}, DefaultOptions())
+}
+
+func TestKCDFFTMatchesDirect(t *testing.T) {
+	rng := mathx.NewRNG(21)
+	for trial := 0; trial < 50; trial++ {
+		n := 10 + rng.Intn(120)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := 0; i < n; i++ {
+			x[i] = rng.Norm()
+			y[i] = 0.5*x[i] + rng.Norm()
+		}
+		d := Options{MaxDelayFraction: 0.5, Normalize: true}
+		f := Options{MaxDelayFraction: 0.5, Normalize: true, UseFFT: true}
+		sd, dd := KCDWithDelay(x, y, d)
+		sf, df := KCDWithDelay(x, y, f)
+		if math.Abs(sd-sf) > 1e-9 {
+			t.Fatalf("trial %d: direct %v vs FFT %v", trial, sd, sf)
+		}
+		if dd != df {
+			t.Fatalf("trial %d: direct delay %d vs FFT delay %d", trial, dd, df)
+		}
+	}
+}
+
+func TestKCDSymmetricInScoreProperty(t *testing.T) {
+	// KCD(x, y) == KCD(y, x): the delay scan is symmetric in sign.
+	f := func(seed uint32, nRaw uint8) bool {
+		rng := mathx.NewRNG(uint64(seed))
+		n := int(nRaw%60) + 4
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := 0; i < n; i++ {
+			x[i] = rng.Norm()
+			y[i] = rng.Norm()
+		}
+		a := KCD(x, y, DefaultOptions())
+		b := KCD(y, x, DefaultOptions())
+		return math.Abs(a-b) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKCDBoundsProperty(t *testing.T) {
+	f := func(seed uint32, nRaw uint8) bool {
+		rng := mathx.NewRNG(uint64(seed))
+		n := int(nRaw%80) + 2
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := 0; i < n; i++ {
+			x[i] = rng.Range(-10, 10)
+			y[i] = rng.Range(-10, 10)
+		}
+		got := KCD(x, y, DefaultOptions())
+		return got >= -1-1e-9 && got <= 1+1e-9 && !math.IsNaN(got)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKCDMaxDelayZeroEqualsPearsonOnNormalized(t *testing.T) {
+	rng := mathx.NewRNG(33)
+	x := make([]float64, 50)
+	y := make([]float64, 50)
+	for i := range x {
+		x[i] = rng.Norm()
+		y[i] = rng.Norm()
+	}
+	k := KCD(x, y, Options{MaxDelayFraction: 1e-9, Normalize: true})
+	p := Pearson(mathx.Normalize(x), mathx.Normalize(y))
+	if math.Abs(k-p) > 1e-9 {
+		t.Fatalf("zero-delay KCD %v != Pearson %v", k, p)
+	}
+}
+
+func TestOptionsMaxDelay(t *testing.T) {
+	o := Options{MaxDelayFraction: 0.5}
+	if got := o.maxDelay(20); got != 10 {
+		t.Fatalf("maxDelay(20) = %d, want 10", got)
+	}
+	o = Options{} // default fraction
+	if got := o.maxDelay(20); got != 10 {
+		t.Fatalf("default maxDelay(20) = %d, want 10", got)
+	}
+	o = Options{MaxDelayFraction: 2}
+	if got := o.maxDelay(4); got != 3 {
+		t.Fatalf("clamped maxDelay(4) = %d, want 3", got)
+	}
+}
+
+func TestMaxDelayPointsCap(t *testing.T) {
+	o := Options{MaxDelayFraction: 0.5, MaxDelayPoints: 4}
+	if got := o.maxDelay(100); got != 4 {
+		t.Fatalf("capped maxDelay(100) = %d, want 4", got)
+	}
+	if got := o.maxDelay(6); got != 3 {
+		t.Fatalf("small-window maxDelay(6) = %d, want 3 (fraction binds)", got)
+	}
+	if got := DetectionOptions().maxDelay(60); got != 4 {
+		t.Fatalf("DetectionOptions maxDelay(60) = %d, want 4", got)
+	}
+}
+
+func TestDetectionOptionsStillFindSmallDelays(t *testing.T) {
+	// Collection delays in the simulator are 0-2 ticks; the capped scan
+	// must still recover them.
+	n := 80
+	base := sine(n+4, 16, 0)
+	x := base[2 : 2+n]
+	y := base[:n]
+	score, delay := KCDWithDelay(x, y, DetectionOptions())
+	if score < 0.999 || delay != -2 {
+		t.Fatalf("capped scan: score=%v delay=%d, want ~1 and -2", score, delay)
+	}
+}

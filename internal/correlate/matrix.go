@@ -1,0 +1,130 @@
+package correlate
+
+import (
+	"fmt"
+
+	"dbcatcher/internal/mathx"
+	"dbcatcher/internal/timeseries"
+)
+
+// Measure computes a correlation score in [-1, 1] (or [0, 1]) between two
+// equal-length windows. KCD, Pearson, and DTWSimilarity all fit this shape
+// via small closures, which is how Table X swaps measurement methods.
+type Measure func(x, y []float64) float64
+
+// KCDMeasure adapts KCD with the given options to the Measure interface.
+func KCDMeasure(opts Options) Measure {
+	return func(x, y []float64) float64 { return KCD(x, y, opts) }
+}
+
+// PearsonMeasure adapts Pearson correlation on min-max-normalized windows
+// ("MM-Pearson" in Table X).
+func PearsonMeasure() Measure {
+	return func(x, y []float64) float64 {
+		return Pearson(mathx.Normalize(x), mathx.Normalize(y))
+	}
+}
+
+// DTWMeasure adapts DTW similarity ("MM-DTW" in Table X) with the given
+// band radius.
+func DTWMeasure(radius int) Measure {
+	return func(x, y []float64) float64 { return DTWSimilarity(x, y, radius) }
+}
+
+// SpearmanMeasure adapts Spearman rank correlation.
+func SpearmanMeasure() Measure {
+	return func(x, y []float64) float64 { return Spearman(x, y) }
+}
+
+// Matrix is one correlation matrix CM_j of Eq. 5: the pairwise correlation
+// scores of N databases on one KPI within a time window. Only the upper
+// triangle is stored (the matrix is symmetric with unit diagonal).
+type Matrix struct {
+	N      int
+	scores []float64 // packed upper triangle, row-major, excluding diagonal
+}
+
+// NewMatrix returns an N×N correlation matrix with all pair scores zero.
+func NewMatrix(n int) *Matrix {
+	if n < 0 {
+		panic("correlate: negative matrix size")
+	}
+	return &Matrix{N: n, scores: make([]float64, n*(n-1)/2)}
+}
+
+// index maps (i, j) with i < j to the packed triangle offset.
+func (m *Matrix) index(i, j int) int {
+	if i > j {
+		i, j = j, i
+	}
+	if i == j || j >= m.N || i < 0 {
+		panic(fmt.Sprintf("correlate: bad pair (%d, %d) for N=%d", i, j, m.N))
+	}
+	// Offset of row i in the packed triangle plus column displacement.
+	return i*(2*m.N-i-1)/2 + (j - i - 1)
+}
+
+// At returns the correlation score between databases i and j. The diagonal
+// is 1 by definition.
+func (m *Matrix) At(i, j int) float64 {
+	if i == j {
+		if i < 0 || i >= m.N {
+			panic(fmt.Sprintf("correlate: index %d out of range", i))
+		}
+		return 1
+	}
+	return m.scores[m.index(i, j)]
+}
+
+// Set stores the score for the unordered pair (i, j), i != j.
+func (m *Matrix) Set(i, j int, v float64) { m.scores[m.index(i, j)] = v }
+
+// Row returns database j's scores against every other database, in
+// database order with j itself skipped. This is the Search function of
+// Algorithm 1 (the KCDS list).
+func (m *Matrix) Row(j int) []float64 {
+	out := make([]float64, 0, m.N-1)
+	for i := 0; i < m.N; i++ {
+		if i == j {
+			continue
+		}
+		out = append(out, m.At(i, j))
+	}
+	return out
+}
+
+// Pairs returns the number of stored pair scores.
+func (m *Matrix) Pairs() int { return len(m.scores) }
+
+// BuildMatrices computes the Q correlation matrices of Eq. 5 for the window
+// [start, start+n) of a unit's multivariate series. active[d] marks whether
+// database d participates; per the paper, an unused database has all of its
+// scores set to 0. A nil active slice means all databases are active.
+func BuildMatrices(u *timeseries.UnitSeries, start, n int, active []bool, measure Measure) ([]*Matrix, error) {
+	if measure == nil {
+		return nil, fmt.Errorf("correlate: nil measure")
+	}
+	out := make([]*Matrix, u.KPIs)
+	windows := make([][]float64, u.Databases)
+	for k := 0; k < u.KPIs; k++ {
+		m := NewMatrix(u.Databases)
+		for d := 0; d < u.Databases; d++ {
+			w, err := u.Series(k, d).Window(start, n)
+			if err != nil {
+				return nil, err
+			}
+			windows[d] = w
+		}
+		for i := 0; i < u.Databases; i++ {
+			for j := i + 1; j < u.Databases; j++ {
+				if active != nil && (!active[i] || !active[j]) {
+					m.Set(i, j, 0)
+					continue
+				}
+				m.Set(i, j, measure(windows[i], windows[j]))
+			}
+		}
+		out[k] = m
+	}
+	return out, nil
+}

@@ -1,0 +1,154 @@
+package dataset
+
+import (
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"dbcatcher/internal/anomaly"
+	"dbcatcher/internal/cluster"
+	"dbcatcher/internal/timeseries"
+	"dbcatcher/internal/workload"
+)
+
+// The on-disk format is JSON (optionally gzipped when the path ends in
+// ".gz"): one document holding all units with their values and labels.
+// It is meant for handing datasets to external tooling and for caching
+// expensive generations, not as a database.
+
+type fileDoc struct {
+	Name   string     `json:"name"`
+	Family int        `json:"family"`
+	Units  []fileUnit `json:"units"`
+}
+
+type fileUnit struct {
+	Name      string        `json:"name"`
+	Profile   int           `json:"profile"`
+	Databases int           `json:"databases"`
+	KPIs      int           `json:"kpis"`
+	Roles     []int         `json:"roles"`
+	Delays    []int         `json:"delays"`
+	Values    [][][]float64 `json:"values"` // [kpi][db][tick]
+	Points    []bool        `json:"points"`
+	DBLabels  []int         `json:"dbLabels"`
+}
+
+// Save writes the dataset to path. A ".gz" suffix enables gzip.
+func (d *Dataset) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("dataset: save: %w", err)
+	}
+	defer f.Close()
+	var w io.Writer = f
+	var gz *gzip.Writer
+	if strings.HasSuffix(path, ".gz") {
+		gz = gzip.NewWriter(f)
+		w = gz
+	}
+	if err := json.NewEncoder(w).Encode(d.toDoc()); err != nil {
+		return fmt.Errorf("dataset: save: %w", err)
+	}
+	if gz != nil {
+		if err := gz.Close(); err != nil {
+			return fmt.Errorf("dataset: save: %w", err)
+		}
+	}
+	return f.Sync()
+}
+
+// Load reads a dataset written by Save.
+func Load(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: load: %w", err)
+	}
+	defer f.Close()
+	var r io.Reader = f
+	if strings.HasSuffix(path, ".gz") {
+		gz, err := gzip.NewReader(f)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: load: %w", err)
+		}
+		defer gz.Close()
+		r = gz
+	}
+	var doc fileDoc
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("dataset: load: %w", err)
+	}
+	return fromDoc(&doc)
+}
+
+func (d *Dataset) toDoc() *fileDoc {
+	doc := &fileDoc{Name: d.Name, Family: int(d.Family)}
+	for _, u := range d.Units {
+		fu := fileUnit{
+			Name:      u.Unit.Config.Name,
+			Profile:   int(u.Profile),
+			Databases: u.Unit.Series.Databases,
+			KPIs:      u.Unit.Series.KPIs,
+			Points:    u.Labels.Point,
+			DBLabels:  u.Labels.DB,
+		}
+		for _, r := range u.Unit.Roles {
+			fu.Roles = append(fu.Roles, int(r))
+		}
+		fu.Delays = append(fu.Delays, u.Unit.Delays...)
+		fu.Values = make([][][]float64, fu.KPIs)
+		for k := 0; k < fu.KPIs; k++ {
+			fu.Values[k] = make([][]float64, fu.Databases)
+			for db := 0; db < fu.Databases; db++ {
+				fu.Values[k][db] = u.Unit.Series.Data[k][db].Values
+			}
+		}
+		doc.Units = append(doc.Units, fu)
+	}
+	return doc
+}
+
+func fromDoc(doc *fileDoc) (*Dataset, error) {
+	d := &Dataset{Name: doc.Name, Family: Family(doc.Family)}
+	for i, fu := range doc.Units {
+		if fu.KPIs != len(fu.Values) {
+			return nil, fmt.Errorf("dataset: unit %d: kpis=%d but %d value rows", i, fu.KPIs, len(fu.Values))
+		}
+		us := timeseries.NewUnitSeries(fu.Name, fu.KPIs, fu.Databases)
+		for k := 0; k < fu.KPIs; k++ {
+			if len(fu.Values[k]) != fu.Databases {
+				return nil, fmt.Errorf("dataset: unit %d kpi %d: %d databases, want %d", i, k, len(fu.Values[k]), fu.Databases)
+			}
+			for db := 0; db < fu.Databases; db++ {
+				us.Data[k][db].Values = fu.Values[k][db]
+			}
+		}
+		if err := us.Validate(); err != nil {
+			return nil, fmt.Errorf("dataset: unit %d: %w", i, err)
+		}
+		n := us.Len()
+		if len(fu.Points) != n || len(fu.DBLabels) != n {
+			return nil, fmt.Errorf("dataset: unit %d: label length mismatch", i)
+		}
+		roles := make([]cluster.Role, len(fu.Roles))
+		for j, r := range fu.Roles {
+			roles[j] = cluster.Role(r)
+		}
+		labels := &anomaly.Labels{Point: fu.Points, DB: fu.DBLabels}
+		unit := &cluster.Unit{
+			Config: cluster.Config{Name: fu.Name, Databases: fu.Databases, Ticks: n},
+			Series: us,
+			Roles:  roles,
+			Delays: fu.Delays,
+		}
+		d.Units = append(d.Units, &UnitData{
+			Unit:    unit,
+			Labels:  labels,
+			Profile: workload.Profile(fu.Profile),
+		})
+	}
+	return d, nil
+}

@@ -1,0 +1,101 @@
+package detect
+
+import (
+	"fmt"
+	"sort"
+
+	"dbcatcher/internal/kpi"
+	"dbcatcher/internal/window"
+)
+
+// Explanation attributes a judgment to indicators: for one database in one
+// window, which KPIs sat at which correlation level and with what best
+// peer score. This implements the paper's future-work direction of using
+// KPI time series for root cause analysis after detection (§V): level-1
+// KPIs name the indicators that broke the UKPIC phenomenon.
+type Explanation struct {
+	DB    int
+	State window.State
+	// KPIs holds one entry per judged indicator, worst level first.
+	KPIs []KPIFinding
+}
+
+// KPIFinding is one indicator's contribution to a judgment.
+type KPIFinding struct {
+	KPI       kpi.KPI
+	Level     window.Level
+	BestScore float64 // the database's best peer correlation on this KPI
+}
+
+// Culprits returns the deviating indicators (level-1, then level-2).
+func (e *Explanation) Culprits() []kpi.KPI {
+	var out []kpi.KPI
+	for _, f := range e.KPIs {
+		if f.Level == window.Level1 || f.Level == window.Level2 {
+			out = append(out, f.KPI)
+		}
+	}
+	return out
+}
+
+// String renders the explanation for operator logs.
+func (e *Explanation) String() string {
+	s := fmt.Sprintf("db%d %s", e.DB, e.State)
+	for _, f := range e.KPIs {
+		if f.Level == window.Level3 {
+			break // findings are sorted worst-first
+		}
+		s += fmt.Sprintf("; %s %s (%.2f)", f.KPI, f.Level, f.BestScore)
+	}
+	return s
+}
+
+// Explain judges the window [start, start+size) of the provider and
+// returns the per-database indicator attribution. The standard 14-KPI
+// layout is required (the Table II correlation typing applies).
+func Explain(p MatrixProvider, cfg Config, start, size int) ([]*Explanation, error) {
+	cfg = cfg.withDefaults()
+	_, kpis, dbs := p.Shape()
+	if err := cfg.Thresholds.Validate(kpis); err != nil {
+		return nil, err
+	}
+	mats, err := p.Matrices(start, size)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Explanation, dbs)
+	for d := 0; d < dbs; d++ {
+		e := &Explanation{DB: d}
+		if cfg.Active != nil && !cfg.Active[d] {
+			e.State = window.Healthy
+			out[d] = e
+			continue
+		}
+		levels := make([]window.Level, 0, kpis)
+		for k := 0; k < kpis; k++ {
+			rr := isRROnly(k, kpis)
+			if rr && d == cfg.Primary {
+				continue
+			}
+			scores := peerScores(mats[k], d, cfg, rr)
+			best := -2.0
+			for _, s := range scores {
+				if s > best {
+					best = s
+				}
+			}
+			level := window.KPILevel(scores, cfg.Thresholds.Alpha[k], cfg.Thresholds.Theta)
+			levels = append(levels, level)
+			e.KPIs = append(e.KPIs, KPIFinding{KPI: kpi.KPI(k), Level: level, BestScore: best})
+		}
+		e.State = window.DetermineState(levels, cfg.Thresholds.MaxTolerance)
+		sort.SliceStable(e.KPIs, func(i, j int) bool {
+			if e.KPIs[i].Level != e.KPIs[j].Level {
+				return e.KPIs[i].Level < e.KPIs[j].Level
+			}
+			return e.KPIs[i].BestScore < e.KPIs[j].BestScore
+		})
+		out[d] = e
+	}
+	return out, nil
+}

@@ -1,0 +1,88 @@
+package detect
+
+import (
+	"strings"
+	"testing"
+
+	"dbcatcher/internal/anomaly"
+	"dbcatcher/internal/kpi"
+	"dbcatcher/internal/mathx"
+	"dbcatcher/internal/window"
+)
+
+func TestExplainNamesCulpritKPIs(t *testing.T) {
+	u := testUnit(t, 200, 9, 1e-9)
+	target := 2
+	affected := []kpi.KPI{kpi.CPUUtilization, kpi.InnodbRowsRead}
+	if _, err := anomaly.Inject(u, []anomaly.Event{{
+		Type: anomaly.Stall, DB: target, Start: 100, Length: 40,
+		Magnitude: 0.9, KPIs: affected,
+	}}, mathx.NewRNG(1)); err != nil {
+		t.Fatal(err)
+	}
+	p := NewProvider(u.Series, nil, nil)
+	exps, err := Explain(p, defaultConfig(), 100, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exps) != 5 {
+		t.Fatalf("explanations = %d", len(exps))
+	}
+	e := exps[target]
+	if e.State == window.Healthy {
+		t.Fatalf("target state = %v", e.State)
+	}
+	culprits := e.Culprits()
+	found := map[kpi.KPI]bool{}
+	for _, c := range culprits {
+		found[c] = true
+	}
+	for _, k := range affected {
+		if !found[k] {
+			t.Errorf("culprits %v miss affected KPI %v", culprits, k)
+		}
+	}
+	// Worst level sorts first.
+	for i := 1; i < len(e.KPIs); i++ {
+		if e.KPIs[i].Level < e.KPIs[i-1].Level {
+			t.Fatal("findings not sorted worst-first")
+		}
+	}
+	// A healthy peer has no level-1 findings.
+	peer := exps[3]
+	for _, f := range peer.KPIs {
+		if f.Level == window.Level1 {
+			t.Errorf("healthy peer has level-1 on %v", f.KPI)
+		}
+	}
+	// String mentions the db and state.
+	if !strings.Contains(e.String(), "db2") {
+		t.Fatalf("String() = %q", e.String())
+	}
+}
+
+func TestExplainValidates(t *testing.T) {
+	u := testUnit(t, 100, 10, 1e-9)
+	p := NewProvider(u.Series, nil, nil)
+	cfg := defaultConfig()
+	cfg.Thresholds.Alpha = cfg.Thresholds.Alpha[:1]
+	if _, err := Explain(p, cfg, 0, 20); err == nil {
+		t.Fatal("bad thresholds should error")
+	}
+	if _, err := Explain(p, defaultConfig(), 90, 20); err == nil {
+		t.Fatal("out-of-range window should error")
+	}
+}
+
+func TestExplainInactiveDatabase(t *testing.T) {
+	u := testUnit(t, 100, 11, 1e-9)
+	cfg := defaultConfig()
+	cfg.Active = []bool{true, true, true, true, false}
+	exps, err := Explain(NewProvider(u.Series, nil, cfg.Active), cfg, 0, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exps[4].State != window.Healthy || len(exps[4].KPIs) != 0 {
+		t.Fatal("inactive database should have an empty healthy explanation")
+	}
+}

@@ -1,0 +1,147 @@
+// Package ensemble combines DBCatcher with a conventional per-series
+// detector — the paper's future-work direction #1 ("How can we combine
+// existing anomaly detection methods to provide better anomaly detection
+// services?") and its own observation that "DBCatcher complements existing
+// methods" (§V).
+//
+// The division of labour follows the paper's stated blind spots:
+// correlation measurement cannot see an anomaly that hits every database
+// simultaneously (UKPIC is preserved) or one that does not break UKPIC at
+// all. A per-series detector has no such blind spot, but is weaker on the
+// single-database deviations DBCatcher excels at. The Hybrid method ORs
+// the two verdicts at window granularity.
+package ensemble
+
+import (
+	"fmt"
+	"time"
+
+	"dbcatcher/internal/baselines"
+	"dbcatcher/internal/dataset"
+	"dbcatcher/internal/detect"
+	"dbcatcher/internal/metrics"
+)
+
+// Hybrid runs DBCatcher and a univariate fallback side by side and
+// declares a window abnormal when either does. It implements
+// baselines.Method so the experiment harness can compare it directly.
+type Hybrid struct {
+	// Catcher is the correlation-based detector; nil means the standard
+	// DBCatcher configuration.
+	Catcher *baselines.DBCatcherMethod
+	// Fallback is the per-series detector; nil means the SR baseline.
+	Fallback baselines.Method
+
+	ready bool
+}
+
+// NewHybrid returns DBCatcher + SR, the cheapest complementary pairing.
+func NewHybrid() *Hybrid { return &Hybrid{} }
+
+// Name implements baselines.Method.
+func (h *Hybrid) Name() string {
+	return fmt.Sprintf("Hybrid(DBCatcher+%s)", h.fallback().Name())
+}
+
+func (h *Hybrid) catcher() *baselines.DBCatcherMethod {
+	if h.Catcher == nil {
+		h.Catcher = baselines.NewDBCatcherMethod()
+	}
+	return h.Catcher
+}
+
+func (h *Hybrid) fallback() baselines.Method {
+	if h.Fallback == nil {
+		h.Fallback = baselines.NewSRMethod()
+	}
+	return h.Fallback
+}
+
+// Train implements baselines.Method: both components train on the same
+// split.
+func (h *Hybrid) Train(train []*dataset.UnitData, seed uint64) (baselines.TrainInfo, error) {
+	start := time.Now()
+	ci, err := h.catcher().Train(train, seed)
+	if err != nil {
+		return baselines.TrainInfo{}, err
+	}
+	if _, err := h.fallback().Train(train, seed+1); err != nil {
+		return baselines.TrainInfo{}, err
+	}
+	h.ready = true
+	return baselines.TrainInfo{
+		Duration:   time.Since(start),
+		BestF:      ci.BestF,
+		WindowSize: ci.WindowSize,
+	}, nil
+}
+
+// Evaluate implements baselines.Method: a window is abnormal when either
+// component flags any part of it. The two components use different window
+// tilings, so the union is computed on the tick axis.
+func (h *Hybrid) Evaluate(test []*dataset.UnitData) (baselines.Result, error) {
+	if !h.ready {
+		return baselines.Result{}, fmt.Errorf("ensemble: not trained")
+	}
+	var c metrics.Confusion
+	var sizeSum float64
+	var sizeN int
+	for _, u := range test {
+		catcherTicks, verdicts, err := h.catcherTicks(u)
+		if err != nil {
+			return baselines.Result{}, err
+		}
+		fallbackTicks, err := h.fallbackTicks(u)
+		if err != nil {
+			return baselines.Result{}, err
+		}
+		// Judge on DBCatcher's windows (they set the efficiency story);
+		// a window is predicted abnormal when either component marked any
+		// of its ticks.
+		for _, v := range verdicts {
+			predicted := false
+			actual := false
+			for t := v.Start; t < v.Start+v.Size; t++ {
+				if catcherTicks[t] || fallbackTicks[t] {
+					predicted = true
+				}
+				if u.Labels.Point[t] {
+					actual = true
+				}
+			}
+			c.Add(predicted, actual)
+			sizeSum += float64(v.Size)
+			sizeN++
+		}
+	}
+	avg := 0.0
+	if sizeN > 0 {
+		avg = sizeSum / float64(sizeN)
+	}
+	return baselines.Result{Confusion: c, AvgWindowSize: avg}, nil
+}
+
+// catcherTicks runs DBCatcher and expands its abnormal windows to ticks.
+func (h *Hybrid) catcherTicks(u *dataset.UnitData) ([]bool, []detect.Verdict, error) {
+	verdicts, _, err := detect.Run(u.Unit.Series, detect.Config{
+		Thresholds: h.catcher().Thresholds(),
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	ticks := make([]bool, u.Unit.Series.Len())
+	for _, v := range verdicts {
+		if !v.Abnormal {
+			continue
+		}
+		for t := v.Start; t < v.Start+v.Size && t < len(ticks); t++ {
+			ticks[t] = true
+		}
+	}
+	return ticks, verdicts, nil
+}
+
+// fallbackTicks asks the fallback method for per-tick abnormal flags.
+func (h *Hybrid) fallbackTicks(u *dataset.UnitData) ([]bool, error) {
+	return baselines.AbnormalTicks(h.fallback(), u)
+}

@@ -1,0 +1,155 @@
+package ensemble
+
+import (
+	"testing"
+
+	"dbcatcher/internal/anomaly"
+	"dbcatcher/internal/baselines"
+	"dbcatcher/internal/cluster"
+	"dbcatcher/internal/dataset"
+	"dbcatcher/internal/mathx"
+	"dbcatcher/internal/workload"
+)
+
+// outageDataset builds units whose anomalies are exclusively unit-wide
+// outages — the blind spot the paper concedes for correlation measurement.
+func outageDataset(t *testing.T, units, ticks int, seed uint64) []*dataset.UnitData {
+	t.Helper()
+	var out []*dataset.UnitData
+	rng := mathx.NewRNG(seed)
+	for i := 0; i < units; i++ {
+		u, err := cluster.Simulate(cluster.Config{
+			Name: "outage", Ticks: ticks, Seed: rng.Uint64(),
+			Profile: workload.TencentIrregular, FluctuationRate: 1e-9,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		events := []anomaly.Event{
+			{Type: anomaly.UnitOutage, Start: ticks / 3, Length: 40, Magnitude: 0.9},
+			{Type: anomaly.UnitOutage, Start: 2 * ticks / 3, Length: 40, Magnitude: 0.85},
+		}
+		labels, err := anomaly.Inject(u, events, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, &dataset.UnitData{Unit: u, Labels: labels, Profile: workload.TencentIrregular})
+	}
+	return out
+}
+
+// standardTrain builds a conventional single-database-anomaly training
+// split: thresholds are learned under normal conditions, as deployed.
+func standardTrain(t *testing.T, seed uint64) []*dataset.UnitData {
+	t.Helper()
+	ds, err := dataset.Generate(dataset.Config{
+		Family: dataset.Tencent, Units: 4, Ticks: 600, Seed: seed, AnomalyRatio: 0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds.Units
+}
+
+// TestUnitOutagePreservesUKPIC documents the paper's stated limitation:
+// a simultaneous all-database anomaly leaves correlation intact, so pure
+// DBCatcher misses it.
+func TestUnitOutageIsDBCatcherBlindSpot(t *testing.T) {
+	train := standardTrain(t, 1)
+	test := outageDataset(t, 3, 600, 2)
+	catcher := baselines.NewDBCatcherMethod()
+	if _, err := catcher.Train(train, 1); err != nil {
+		t.Fatal(err)
+	}
+	res, err := catcher.Evaluate(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Confusion.Recall() > 0.34 {
+		t.Fatalf("DBCatcher recall on unit-wide outages = %v; expected near-blindness (§V limitation)",
+			res.Confusion.Recall())
+	}
+}
+
+// TestHybridCoversTheBlindSpot: the ensemble's per-series fallback catches
+// what correlation measurement cannot.
+func TestHybridCoversTheBlindSpot(t *testing.T) {
+	train := standardTrain(t, 3)
+	test := outageDataset(t, 3, 600, 4)
+
+	catcher := baselines.NewDBCatcherMethod()
+	if _, err := catcher.Train(train, 1); err != nil {
+		t.Fatal(err)
+	}
+	pure, err := catcher.Evaluate(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	hybrid := NewHybrid()
+	if _, err := hybrid.Train(train, 1); err != nil {
+		t.Fatal(err)
+	}
+	combined, err := hybrid.Evaluate(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if combined.Confusion.Recall() <= pure.Confusion.Recall() {
+		t.Fatalf("hybrid recall %v should exceed pure DBCatcher %v on unit-wide outages",
+			combined.Confusion.Recall(), pure.Confusion.Recall())
+	}
+	if combined.Confusion.Recall() < 0.5 {
+		t.Fatalf("hybrid recall %v too low; fallback should catch outages", combined.Confusion.Recall())
+	}
+	// The hybrid keeps DBCatcher's efficiency (window ~20, not ~80).
+	if combined.AvgWindowSize > 45 {
+		t.Fatalf("hybrid window %v lost DBCatcher's efficiency", combined.AvgWindowSize)
+	}
+}
+
+func TestHybridRequiresTraining(t *testing.T) {
+	h := NewHybrid()
+	if _, err := h.Evaluate(nil); err == nil {
+		t.Fatal("Evaluate before Train should fail")
+	}
+	if h.Name() == "" {
+		t.Fatal("empty name")
+	}
+}
+
+// TestHybridKeepsSingleDBPerformance: on the paper's standard single-
+// database anomalies, the hybrid must not be materially worse than pure
+// DBCatcher (the OR can add fallback false positives, but recall only
+// grows).
+func TestHybridKeepsSingleDBPerformance(t *testing.T) {
+	ds, err := dataset.Generate(dataset.Config{
+		Family: dataset.Sysbench, Units: 4, Ticks: 800, Seed: 9, AnomalyRatio: 0.06,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test, err := ds.Split(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	catcher := baselines.NewDBCatcherMethod()
+	if _, err := catcher.Train(train.Units, 2); err != nil {
+		t.Fatal(err)
+	}
+	pure, err := catcher.Evaluate(test.Units)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hybrid := NewHybrid()
+	if _, err := hybrid.Train(train.Units, 2); err != nil {
+		t.Fatal(err)
+	}
+	combined, err := hybrid.Evaluate(test.Units)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if combined.Confusion.Recall() < pure.Confusion.Recall()-1e-9 {
+		t.Fatalf("OR-combination lowered recall: %v < %v",
+			combined.Confusion.Recall(), pure.Confusion.Recall())
+	}
+}

@@ -1,0 +1,214 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"dbcatcher/internal/baselines"
+	"dbcatcher/internal/cluster"
+	"dbcatcher/internal/correlate"
+	"dbcatcher/internal/dataset"
+	"dbcatcher/internal/detect"
+	"dbcatcher/internal/kpi"
+	"dbcatcher/internal/mathx"
+	"dbcatcher/internal/metrics"
+	"dbcatcher/internal/thresholds"
+	"dbcatcher/internal/window"
+)
+
+// TableX reproduces the correlation-measurement ablation: MM-Pearson,
+// MM-DTW, and MM-KCD run DBCatcher with the flexible window disabled and
+// the respective measure; AMM-KCD is the full system.
+func TableX(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	variants := []struct {
+		name     string
+		measure  correlate.Measure
+		flexible bool
+	}{
+		{"MM-Pearson", correlate.PearsonMeasure(), false},
+		{"MM-DTW", correlate.DTWMeasure(-1), false}, // unconstrained warping, as criticized in §IV-D1
+		{"MM-KCD", correlate.KCDMeasure(correlate.DetectionOptions()), false},
+		{"AMM-KCD", correlate.KCDMeasure(correlate.DetectionOptions()), true},
+	}
+	t := &Table{
+		Title:   "Table X — F-Measure of correlation measurement methods combined with MM",
+		Columns: []string{"Model", "Tencent", "Sysbench", "TPCC"},
+	}
+	results := make(map[string]map[string]float64)
+	for _, v := range variants {
+		results[v.name] = make(map[string]float64)
+	}
+	for fi, family := range []dataset.Family{dataset.Tencent, dataset.Sysbench, dataset.TPCC} {
+		fsum := make(map[string]float64)
+		for run := 0; run < cfg.Runs; run++ {
+			seed := cfg.Seed + uint64(fi*100+run+11)
+			cfg.logf("[Table X] %s run %d/%d...", family, run+1, cfg.Runs)
+			ds, err := cfg.generate(family, seed)
+			if err != nil {
+				return nil, err
+			}
+			train, test, err := ds.Split(0.5)
+			if err != nil {
+				return nil, err
+			}
+			for _, v := range variants {
+				flex := window.DefaultFlexConfig()
+				flex.Disabled = !v.flexible
+				m := &baselines.DBCatcherMethod{Flex: flex, Measure: v.measure}
+				if _, err := m.Train(train.Units, seed); err != nil {
+					return nil, err
+				}
+				r, err := m.Evaluate(test.Units)
+				if err != nil {
+					return nil, err
+				}
+				fsum[v.name] += r.Confusion.FMeasure()
+			}
+		}
+		for _, v := range variants {
+			results[v.name][family.String()] = fsum[v.name] / float64(cfg.Runs)
+		}
+	}
+	for _, v := range variants {
+		t.AddRow(v.name,
+			pct(results[v.name]["Tencent"]),
+			pct(results[v.name]["Sysbench"]),
+			pct(results[v.name]["TPCC"]))
+	}
+	t.Notes = append(t.Notes,
+		"paper shape: MM-KCD > MM-Pearson > MM-DTW, and AMM-KCD (flexible window) > MM-KCD")
+	return t, nil
+}
+
+// Figure11 compares the three threshold search policies (GA, SAA, random
+// search) on the same fitness landscape: F-Measure from relearning
+// thresholds on recent labelled records, averaged across datasets and
+// runs.
+func Figure11(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		Title:   "Figure 11 — threshold search policies (mean F-Measure)",
+		Columns: []string{"Dataset", "GA", "SAA", "Random"},
+	}
+	// Each policy runs with its default budget, as the paper compares the
+	// policies as configured rather than evaluation-matched.
+	searchers := func(seed uint64) []thresholds.Searcher {
+		return []thresholds.Searcher{
+			thresholds.GA{Seed: seed},
+			thresholds.SAA{Seed: seed},
+			thresholds.Random{Seed: seed},
+		}
+	}
+	for fi, family := range []dataset.Family{dataset.Tencent, dataset.Sysbench, dataset.TPCC} {
+		sums := map[string]float64{}
+		for run := 0; run < cfg.Runs; run++ {
+			seed := cfg.Seed + uint64(fi*100+run+31)
+			cfg.logf("[Figure 11] %s run %d/%d...", family, run+1, cfg.Runs)
+			ds, err := cfg.generate(family, seed)
+			if err != nil {
+				return nil, err
+			}
+			train, test, err := ds.Split(0.5)
+			if err != nil {
+				return nil, err
+			}
+			var samples []thresholds.Sample
+			for _, u := range train.Units {
+				samples = append(samples, thresholds.Sample{
+					Provider: detect.NewCachedProvider(detect.NewProvider(u.Unit.Series, nil, nil)),
+					Labels:   u.Labels,
+				})
+			}
+			fitness := thresholds.DetectorFitness(samples, window.DefaultFlexConfig())
+			for _, s := range searchers(seed) {
+				res := s.Search(kpi.Count, fitness)
+				// Evaluate the found thresholds on the *test* half: the
+				// figure reports achieved detection performance.
+				var c metrics.Confusion
+				for _, u := range test.Units {
+					verdicts, _, err := detect.Run(u.Unit.Series, detect.Config{
+						Thresholds: res.Best,
+						Flex:       window.DefaultFlexConfig(),
+					})
+					if err != nil {
+						return nil, err
+					}
+					part, err := detect.Evaluate(verdicts, u.Labels)
+					if err != nil {
+						return nil, err
+					}
+					c.Merge(part)
+				}
+				sums[s.Name()] += c.FMeasure()
+			}
+		}
+		t.AddRow(family.String(),
+			pct(sums["GA"]/float64(cfg.Runs)),
+			pct(sums["SAA"]/float64(cfg.Runs)),
+			pct(sums["Random"]/float64(cfg.Runs)))
+	}
+	t.Notes = append(t.Notes, "paper shape: GA achieves the best F-Measure")
+	return t, nil
+}
+
+// ComponentTime reproduces §IV-D4: the per-component time split of online
+// detection across many units, and the 100 MB / 120 h extrapolation.
+func ComponentTime(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	unitCount := 10
+	ticks := 1200
+	if cfg.Scale >= 1 {
+		unitCount = 50
+		ticks = 2592
+	}
+	cfg.logf("[Component time] simulating %d units x %d ticks...", unitCount, ticks)
+	rng := mathx.NewRNG(cfg.Seed)
+	var total detect.Timing
+	points := 0
+	start := time.Now()
+	for i := 0; i < unitCount; i++ {
+		u, err := cluster.Simulate(cluster.Config{
+			Name:  fmt.Sprintf("ct-unit%d", i),
+			Ticks: ticks,
+			Seed:  rng.Uint64(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		_, timing, err := detect.Run(u.Series, detect.Config{
+			Thresholds: window.DefaultThresholds(kpi.Count),
+		})
+		if err != nil {
+			return nil, err
+		}
+		total.Correlation += timing.Correlation
+		total.Window += timing.Window
+		points += ticks * 5 * kpi.Count
+	}
+	elapsed := time.Since(start)
+	// The paper's reference load is "a 100M dataset, corresponding to the
+	// amount of data for 120 hours of KPI data points" (§IV-D4). At ~8
+	// bytes per stored float that is 12.5M points.
+	const bytesPerPoint = 8.0
+	paperPoints := int(100e6 / bytesPerPoint)
+	rate := float64(points) / total.Total().Seconds()
+	projected := float64(paperPoints) / rate
+
+	t := &Table{
+		Title:   "Component computation time (§IV-D4)",
+		Columns: []string{"metric", "value"},
+	}
+	corrFrac := float64(total.Correlation) / float64(total.Total())
+	t.AddRow("correlation measurement share", pct(corrFrac))
+	t.AddRow("flexible window share", pct(1-corrFrac))
+	t.AddRow("points processed", fmt.Sprintf("%d", points))
+	t.AddRow("detection throughput", fmt.Sprintf("%.0f points/s", rate))
+	t.AddRow("projected time for the 100 MB / 120 h load (paper: 42 s)",
+		fmt.Sprintf("%.2f s (%.0f MB, %d points)", projected,
+			float64(paperPoints)*bytesPerPoint/1e6, paperPoints))
+	t.AddRow("wall clock (incl. simulation)", fmt.Sprintf("%.1f s", elapsed.Seconds()))
+	t.Notes = append(t.Notes,
+		"paper: correlation 70%, window 30%, 42 s for the 100 MB load")
+	return t, nil
+}

@@ -1,0 +1,209 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{Title: "T", Columns: []string{"a", "bbbb"}}
+	tab.AddRow("x", "y")
+	tab.Notes = append(tab.Notes, "hello")
+	out := tab.Render()
+	if !strings.Contains(out, "== T ==") || !strings.Contains(out, "bbbb") ||
+		!strings.Contains(out, "note: hello") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.Runs != 3 || cfg.Seed != 1 {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+}
+
+func TestDatasetShapeScales(t *testing.T) {
+	quick := Config{}.withDefaults()
+	u, ticks := quick.datasetShape(0) // Tencent
+	if u != 10 || ticks != 1200 {
+		t.Fatalf("quick shape = %d, %d", u, ticks)
+	}
+	full := Config{Scale: 1}.withDefaults()
+	u, ticks = full.datasetShape(0)
+	if u != 100 || ticks != 2592 {
+		t.Fatalf("full shape = %d, %d", u, ticks)
+	}
+}
+
+func TestRegistryRejectsUnknown(t *testing.T) {
+	if _, err := Run("nope", Config{}); err == nil {
+		t.Fatal("unknown experiment should error")
+	}
+}
+
+func TestNamesCoverRegistry(t *testing.T) {
+	if len(Names()) < 11 {
+		t.Fatalf("names = %v", Names())
+	}
+}
+
+// TestTableIIUKPICShape asserts the core validation: R-R typed KPIs have
+// high measured R-R correlation and clearly lower P-R correlation, while
+// P-R typed KPIs are high in both columns.
+func TestTableIIUKPICShape(t *testing.T) {
+	tab, err := TableII(Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 14 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		pr := parseF(t, row[2])
+		rr := parseF(t, row[3])
+		if rr < 0.75 {
+			t.Errorf("%s: measured R-R %.3f too low", row[0], rr)
+		}
+		if row[1] == "R-R" && pr > rr-0.2 {
+			t.Errorf("%s: R-R typed KPI should have weak P-R (pr=%.3f rr=%.3f)", row[0], pr, rr)
+		}
+		if row[1] == "P-R, R-R" && pr < 0.7 {
+			t.Errorf("%s: PRRR typed KPI should have strong P-R (%.3f)", row[0], pr)
+		}
+	}
+}
+
+// TestFigure3MatrixShape asserts the UKPIC matrices are strongly
+// correlated off-diagonal.
+func TestFigure3MatrixShape(t *testing.T) {
+	tab, err := Figure3(Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for i, row := range tab.Rows {
+		for j := 1; j < len(row); j++ {
+			v := parseF(t, row[j])
+			if v < 0.7 {
+				t.Errorf("matrix[%d][%d] = %.2f, want >= 0.7 (UKPIC)", i, j-1, v)
+			}
+		}
+	}
+}
+
+// TestFigure5Recovers asserts the fluctuation dilution: the largest window
+// scores clearly above the smallest.
+func TestFigure5Recovers(t *testing.T) {
+	tab, err := Figure5(Config{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := parseF(t, tab.Rows[0][2])
+	last := parseF(t, tab.Rows[len(tab.Rows)-1][2])
+	if last <= first {
+		t.Fatalf("score should recover with window growth: %.3f -> %.3f", first, last)
+	}
+}
+
+// TestTableIIIRatios asserts the generated datasets land near the paper's
+// abnormal ratios.
+func TestTableIIIRatios(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dataset generation is moderately slow")
+	}
+	tab, err := TableIII(Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3.11, 4.21, 4.06}
+	for i, row := range tab.Rows {
+		ratio := parsePct(t, row[5])
+		if ratio < want[i]-1.5 || ratio > want[i]+1.5 {
+			t.Errorf("%s ratio %.2f%%, want near %.2f%%", row[0], ratio, want[i])
+		}
+	}
+}
+
+// TestFigure8Shape is the headline integration test: at quick scale with
+// one run, DBCatcher must (a) produce a competitive F-Measure and (b) use
+// a far smaller window than every baseline.
+func TestFigure8Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign is slow")
+	}
+	_, tv, _, res, err := Figure8(Config{Runs: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wins := 0
+	for _, ds := range res.Datasets {
+		dbc := res.Stats["DBCatcher"][ds].Runs
+		bestBaseline := 0.0
+		for _, m := range methodNames {
+			if m == "DBCatcher" {
+				continue
+			}
+			if f := res.Stats[m][ds].Runs.FMeasure.Mean; f > bestBaseline {
+				bestBaseline = f
+			}
+		}
+		if dbc.FMeasure.Mean >= bestBaseline {
+			wins++
+		}
+		// Efficiency: DBCatcher's window must be small, and smaller than
+		// most baselines' (a single quick run lets one baseline
+		// occasionally land on a small grid point).
+		if dbc.AvgWindowSize >= 45 {
+			t.Errorf("%s: DBCatcher window %.0f too large", ds, dbc.AvgWindowSize)
+		}
+		larger := 0
+		for _, m := range methodNames {
+			if m == "DBCatcher" {
+				continue
+			}
+			if res.Stats[m][ds].Runs.AvgWindowSize > dbc.AvgWindowSize {
+				larger++
+			}
+		}
+		if larger < 4 {
+			t.Errorf("%s: only %d/5 baselines use a larger window than DBCatcher", ds, larger)
+		}
+	}
+	// The paper has DBCatcher winning on all three; a single quick run is
+	// noisy, so require at least two of three.
+	if wins < 2 {
+		t.Errorf("DBCatcher won only %d/3 datasets", wins)
+	}
+	if len(tv.Rows) != len(methodNames) {
+		t.Errorf("Table V rows = %d", len(tv.Rows))
+	}
+}
+
+func parseF(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}
+
+func parsePct(t *testing.T, s string) float64 {
+	t.Helper()
+	return parseF(t, strings.TrimSuffix(strings.TrimSpace(s), "%"))
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := &Table{Title: "T", Columns: []string{"a", "b"}}
+	tab.AddRow("x", "1")
+	tab.Notes = append(tab.Notes, "n")
+	out := tab.CSV()
+	if !strings.Contains(out, "# T\n") || !strings.Contains(out, "a,b\n") ||
+		!strings.Contains(out, "x,1\n") || !strings.Contains(out, "# n\n") {
+		t.Fatalf("CSV:\n%s", out)
+	}
+}

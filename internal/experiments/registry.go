@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Run executes the named experiment and returns its tables. Valid names
+// are listed by Names(); "all" runs everything in paper order.
+func Run(name string, cfg Config) ([]*Table, error) {
+	switch strings.ToLower(name) {
+	case "tableii":
+		t, err := TableII(cfg)
+		return one(t, err)
+	case "tableiii":
+		t, err := TableIII(cfg)
+		return one(t, err)
+	case "figure3":
+		t, err := Figure3(cfg)
+		return one(t, err)
+	case "figure5":
+		t, err := Figure5(cfg)
+		return one(t, err)
+	case "figure8", "tablev", "tablevi":
+		fig, tv, tvi, _, err := Figure8(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{fig, tv, tvi}, nil
+	case "figure9", "tablevii":
+		fig, tvii, _, err := Figure9(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{fig, tvii}, nil
+	case "figure10", "tableviii":
+		fig, tviii, _, err := Figure10(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{fig, tviii}, nil
+	case "tableix":
+		t, err := TableIX(cfg)
+		return one(t, err)
+	case "tablex":
+		t, err := TableX(cfg)
+		return one(t, err)
+	case "figure11":
+		t, err := Figure11(cfg)
+		return one(t, err)
+	case "componenttime":
+		t, err := ComponentTime(cfg)
+		return one(t, err)
+	case "diagnosis":
+		t, err := Diagnosis(cfg)
+		return one(t, err)
+	case "hybrid":
+		t, err := Hybrid(cfg)
+		return one(t, err)
+	case "all":
+		var out []*Table
+		for _, n := range Names() {
+			if n == "all" {
+				continue
+			}
+			tables, err := Run(n, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", n, err)
+			}
+			out = append(out, tables...)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown experiment %q (valid: %s)", name, strings.Join(Names(), ", "))
+	}
+}
+
+func one(t *Table, err error) ([]*Table, error) {
+	if err != nil {
+		return nil, err
+	}
+	return []*Table{t}, nil
+}
+
+// Names lists the runnable experiments in paper order.
+func Names() []string {
+	names := []string{
+		"tableII", "tableIII", "figure3", "figure5",
+		"figure8", "figure9", "figure10",
+		"tableIX", "tableX", "figure11", "componenttime", "diagnosis",
+		"hybrid", "all",
+	}
+	return names
+}

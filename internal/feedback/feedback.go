@@ -1,0 +1,152 @@
+// Package feedback implements DBCatcher's online feedback module (§III-A,
+// §III-D): DBAs mark the judgment records produced by the streaming
+// detection module; when the detection performance computed from recent
+// records falls below the activation criterion (75% F-Measure in §IV-D3),
+// the adaptive threshold learning policy re-fits the thresholds from those
+// records.
+package feedback
+
+import (
+	"fmt"
+	"sync"
+
+	"dbcatcher/internal/metrics"
+	"dbcatcher/internal/thresholds"
+	"dbcatcher/internal/window"
+)
+
+// Record is one DBA-marked judgment record: what the detector said about a
+// window and what the DBA decided was true.
+type Record struct {
+	// Start and Size identify the judged window.
+	Start, Size int
+	// Predicted is the detector's verdict (true = abnormal).
+	Predicted bool
+	// Actual is the DBA's marking.
+	Actual bool
+}
+
+// Store keeps the most recent judgment records in a bounded ring. It is
+// safe for concurrent use.
+type Store struct {
+	mu   sync.Mutex
+	recs []Record
+	head int
+	size int
+}
+
+// NewStore returns a store holding up to capacity records.
+func NewStore(capacity int) *Store {
+	if capacity <= 0 {
+		panic("feedback: store capacity must be positive")
+	}
+	return &Store{recs: make([]Record, capacity)}
+}
+
+// Add appends a record, evicting the oldest when full.
+func (s *Store) Add(r Record) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.size < len(s.recs) {
+		s.recs[(s.head+s.size)%len(s.recs)] = r
+		s.size++
+		return
+	}
+	s.recs[s.head] = r
+	s.head = (s.head + 1) % len(s.recs)
+}
+
+// Len returns the number of stored records.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.size
+}
+
+// Recent returns up to n of the most recent records, oldest first.
+func (s *Store) Recent(n int) []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n > s.size {
+		n = s.size
+	}
+	out := make([]Record, n)
+	start := s.size - n
+	for i := 0; i < n; i++ {
+		out[i] = s.recs[(s.head+start+i)%len(s.recs)]
+	}
+	return out
+}
+
+// Confusion scores the n most recent records.
+func (s *Store) Confusion(n int) metrics.Confusion {
+	var c metrics.Confusion
+	for _, r := range s.Recent(n) {
+		c.Add(r.Predicted, r.Actual)
+	}
+	return c
+}
+
+// FMeasure returns the F-Measure over the n most recent records.
+func (s *Store) FMeasure(n int) float64 { return s.Confusion(n).FMeasure() }
+
+// Policy decides when the adaptive threshold learning is activated.
+type Policy struct {
+	// Criterion is the minimum acceptable F-Measure (§IV-D3 uses 75%).
+	Criterion float64
+	// MinRecords is the number of recent records required before the
+	// policy judges performance at all.
+	MinRecords int
+	// Window is how many recent records the F-Measure covers; 0 means
+	// MinRecords.
+	Window int
+}
+
+// DefaultPolicy returns the paper's setting: retrain when F drops below
+// 75%, judged over the last 200 records once at least 50 exist.
+func DefaultPolicy() Policy {
+	return Policy{Criterion: 0.75, MinRecords: 50, Window: 200}
+}
+
+// ShouldRetrain reports whether recent performance violates the criterion.
+func (p Policy) ShouldRetrain(s *Store) bool {
+	if s.Len() < p.MinRecords {
+		return false
+	}
+	w := p.Window
+	if w == 0 {
+		w = p.MinRecords
+	}
+	return s.FMeasure(w) < p.Criterion
+}
+
+// Learner re-fits thresholds from labelled samples using a configured
+// search policy (the GA by default).
+type Learner struct {
+	// Searcher is the optimization policy; nil means the default GA.
+	Searcher thresholds.Searcher
+	// Flex is the window configuration used during fitness evaluation.
+	Flex window.FlexConfig
+}
+
+// Relearn runs the search over the samples and returns the new thresholds
+// with their fitness. q is the KPI count.
+func (l Learner) Relearn(q int, samples []thresholds.Sample) (window.Thresholds, float64, error) {
+	if len(samples) == 0 {
+		return window.Thresholds{}, 0, fmt.Errorf("feedback: no samples to relearn from")
+	}
+	searcher := l.Searcher
+	if searcher == nil {
+		searcher = thresholds.GA{}
+	}
+	flex := l.Flex
+	if flex == (window.FlexConfig{}) {
+		flex = window.DefaultFlexConfig()
+	}
+	fitness := thresholds.DetectorFitness(samples, flex)
+	res := searcher.Search(q, fitness)
+	if err := res.Best.Validate(q); err != nil {
+		return window.Thresholds{}, 0, err
+	}
+	return res.Best, res.Fitness, nil
+}

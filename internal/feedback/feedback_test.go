@@ -1,0 +1,141 @@
+package feedback
+
+import (
+	"sync"
+	"testing"
+
+	"dbcatcher/internal/anomaly"
+	"dbcatcher/internal/cluster"
+	"dbcatcher/internal/detect"
+	"dbcatcher/internal/mathx"
+	"dbcatcher/internal/thresholds"
+	"dbcatcher/internal/workload"
+)
+
+func TestStoreRingBehaviour(t *testing.T) {
+	s := NewStore(3)
+	for i := 0; i < 5; i++ {
+		s.Add(Record{Start: i})
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	recent := s.Recent(3)
+	if recent[0].Start != 2 || recent[2].Start != 4 {
+		t.Fatalf("Recent = %+v", recent)
+	}
+	if got := s.Recent(99); len(got) != 3 {
+		t.Fatalf("Recent over-len = %d", len(got))
+	}
+}
+
+func TestStorePanicsOnZeroCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewStore(0)
+}
+
+func TestStoreConcurrentAccess(t *testing.T) {
+	s := NewStore(100)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				s.Add(Record{Predicted: true, Actual: true})
+				s.FMeasure(10)
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Len() != 100 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestStoreFMeasure(t *testing.T) {
+	s := NewStore(10)
+	// 3 TP, 1 FP, 1 FN, 1 TN -> P=0.75, R=0.75, F=0.75.
+	s.Add(Record{Predicted: true, Actual: true})
+	s.Add(Record{Predicted: true, Actual: true})
+	s.Add(Record{Predicted: true, Actual: true})
+	s.Add(Record{Predicted: true, Actual: false})
+	s.Add(Record{Predicted: false, Actual: true})
+	s.Add(Record{Predicted: false, Actual: false})
+	if got := s.FMeasure(6); got != 0.75 {
+		t.Fatalf("F = %v", got)
+	}
+}
+
+func TestPolicyActivation(t *testing.T) {
+	p := Policy{Criterion: 0.75, MinRecords: 4, Window: 4}
+	s := NewStore(10)
+	// Too few records: never retrain.
+	s.Add(Record{Predicted: true, Actual: false})
+	if p.ShouldRetrain(s) {
+		t.Fatal("should not retrain before MinRecords")
+	}
+	// Fill with bad performance.
+	for i := 0; i < 4; i++ {
+		s.Add(Record{Predicted: true, Actual: false})
+	}
+	if !p.ShouldRetrain(s) {
+		t.Fatal("should retrain on bad recent performance")
+	}
+	// Now good performance pushes F above the criterion.
+	for i := 0; i < 4; i++ {
+		s.Add(Record{Predicted: true, Actual: true})
+	}
+	if p.ShouldRetrain(s) {
+		t.Fatal("should not retrain when recent records are good")
+	}
+}
+
+func TestDefaultPolicy(t *testing.T) {
+	p := DefaultPolicy()
+	if p.Criterion != 0.75 {
+		t.Fatalf("criterion = %v, want 0.75 (§IV-D3)", p.Criterion)
+	}
+}
+
+func TestLearnerRelearn(t *testing.T) {
+	u, err := cluster.Simulate(cluster.Config{
+		Name: "u", Ticks: 500, Seed: 20, Profile: workload.SysbenchI,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := anomaly.GenerateSchedule(anomaly.ScheduleConfig{
+		Ticks: 500, Databases: 5, TargetRatio: 0.06,
+	}, mathx.NewRNG(21))
+	labels, err := anomaly.Inject(u, events, mathx.NewRNG(22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := []thresholds.Sample{{
+		Provider: detect.NewCachedProvider(detect.NewProvider(u.Series, nil, nil)),
+		Labels:   labels,
+	}}
+	l := Learner{Searcher: thresholds.GA{Seed: 23, Population: 8, Generations: 4}}
+	th, fit, err := l.Relearn(14, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(th.Alpha) != 14 {
+		t.Fatalf("learned %d alphas", len(th.Alpha))
+	}
+	if fit <= 0 {
+		t.Fatalf("learned fitness %v", fit)
+	}
+}
+
+func TestLearnerRelearnNoSamples(t *testing.T) {
+	l := Learner{}
+	if _, _, err := l.Relearn(14, nil); err == nil {
+		t.Fatal("no samples should error")
+	}
+}

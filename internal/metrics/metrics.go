@@ -1,0 +1,139 @@
+// Package metrics implements the evaluation protocol of §IV-A3: confusion
+// counting over detection windows, precision / recall / F-measure, and the
+// Window-Size efficiency metric.
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// Confusion accumulates window-level detection outcomes.
+type Confusion struct {
+	TP, FP, TN, FN int
+}
+
+// Add folds one (predictedAbnormal, actuallyAbnormal) pair.
+func (c *Confusion) Add(predicted, actual bool) {
+	switch {
+	case predicted && actual:
+		c.TP++
+	case predicted && !actual:
+		c.FP++
+	case !predicted && actual:
+		c.FN++
+	default:
+		c.TN++
+	}
+}
+
+// Merge adds another confusion's counts.
+func (c *Confusion) Merge(o Confusion) {
+	c.TP += o.TP
+	c.FP += o.FP
+	c.TN += o.TN
+	c.FN += o.FN
+}
+
+// Total returns the number of counted windows.
+func (c Confusion) Total() int { return c.TP + c.FP + c.TN + c.FN }
+
+// Precision returns TP/(TP+FP), or 0 when nothing was predicted abnormal.
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns TP/(TP+FN), or 0 when nothing was actually abnormal.
+func (c Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// FMeasure returns the harmonic mean of precision and recall.
+func (c Confusion) FMeasure() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// String renders the confusion compactly.
+func (c Confusion) String() string {
+	return fmt.Sprintf("TP=%d FP=%d TN=%d FN=%d P=%.3f R=%.3f F=%.3f",
+		c.TP, c.FP, c.TN, c.FN, c.Precision(), c.Recall(), c.FMeasure())
+}
+
+// Summary aggregates repeated evaluation runs (the paper reports mean,
+// maximum, and minimum over 20 runs).
+type Summary struct {
+	Mean, Min, Max float64
+	N              int
+}
+
+// Summarize reduces a slice of metric values.
+func Summarize(values []float64) Summary {
+	if len(values) == 0 {
+		return Summary{}
+	}
+	s := Summary{Min: math.Inf(1), Max: math.Inf(-1), N: len(values)}
+	var sum float64
+	for _, v := range values {
+		sum += v
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	s.Mean = sum / float64(len(values))
+	return s
+}
+
+// RunStats collects the three performance metrics plus the efficiency
+// metric across repeated runs.
+type RunStats struct {
+	Precision, Recall, FMeasure Summary
+	// AvgWindowSize is the mean Window-Size across runs (the efficiency
+	// metric of §IV-A3: the points required per detection).
+	AvgWindowSize float64
+	// TrainSeconds is the mean wall-clock training time across runs.
+	TrainSeconds float64
+}
+
+// CollectRuns reduces per-run confusions and window sizes into RunStats.
+func CollectRuns(confusions []Confusion, windowSizes []float64, trainSeconds []float64) RunStats {
+	p := make([]float64, len(confusions))
+	r := make([]float64, len(confusions))
+	f := make([]float64, len(confusions))
+	for i, c := range confusions {
+		p[i] = c.Precision()
+		r[i] = c.Recall()
+		f[i] = c.FMeasure()
+	}
+	var rs RunStats
+	rs.Precision = Summarize(p)
+	rs.Recall = Summarize(r)
+	rs.FMeasure = Summarize(f)
+	if len(windowSizes) > 0 {
+		var sum float64
+		for _, w := range windowSizes {
+			sum += w
+		}
+		rs.AvgWindowSize = sum / float64(len(windowSizes))
+	}
+	if len(trainSeconds) > 0 {
+		var sum float64
+		for _, t := range trainSeconds {
+			sum += t
+		}
+		rs.TrainSeconds = sum / float64(len(trainSeconds))
+	}
+	return rs
+}

@@ -1,0 +1,103 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfusionCounts(t *testing.T) {
+	var c Confusion
+	c.Add(true, true)   // TP
+	c.Add(true, false)  // FP
+	c.Add(false, true)  // FN
+	c.Add(false, false) // TN
+	c.Add(true, true)   // TP
+	if c.TP != 2 || c.FP != 1 || c.FN != 1 || c.TN != 1 {
+		t.Fatalf("confusion = %+v", c)
+	}
+	if c.Total() != 5 {
+		t.Fatalf("Total = %d", c.Total())
+	}
+}
+
+func TestMetricsKnownValues(t *testing.T) {
+	c := Confusion{TP: 8, FP: 2, FN: 2, TN: 88}
+	if got := c.Precision(); got != 0.8 {
+		t.Errorf("Precision = %v", got)
+	}
+	if got := c.Recall(); got != 0.8 {
+		t.Errorf("Recall = %v", got)
+	}
+	if got := c.FMeasure(); math.Abs(got-0.8) > 1e-12 {
+		t.Errorf("F = %v", got)
+	}
+}
+
+func TestMetricsDegenerate(t *testing.T) {
+	var c Confusion
+	if c.Precision() != 0 || c.Recall() != 0 || c.FMeasure() != 0 {
+		t.Fatal("empty confusion should give 0 metrics")
+	}
+	onlyTN := Confusion{TN: 5}
+	if onlyTN.FMeasure() != 0 {
+		t.Fatal("TN-only F should be 0")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := Confusion{TP: 1, FP: 2, TN: 3, FN: 4}
+	b := Confusion{TP: 10, FP: 20, TN: 30, FN: 40}
+	a.Merge(b)
+	if a.TP != 11 || a.FP != 22 || a.TN != 33 || a.FN != 44 {
+		t.Fatalf("merged = %+v", a)
+	}
+}
+
+func TestFMeasureBoundsProperty(t *testing.T) {
+	f := func(tp, fp, tn, fn uint8) bool {
+		c := Confusion{TP: int(tp), FP: int(fp), TN: int(tn), FN: int(fn)}
+		fm := c.FMeasure()
+		if fm < 0 || fm > 1 || math.IsNaN(fm) {
+			return false
+		}
+		// F is bounded by both precision and recall from above only when
+		// both are nonzero; in general min <= F <= max.
+		p, r := c.Precision(), c.Recall()
+		lo, hi := math.Min(p, r), math.Max(p, r)
+		return fm >= lo-1e-12 && fm <= hi+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{0.5, 0.7, 0.6})
+	if math.Abs(s.Mean-0.6) > 1e-12 || s.Min != 0.5 || s.Max != 0.7 || s.N != 3 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if got := Summarize(nil); got.N != 0 {
+		t.Fatalf("empty summary = %+v", got)
+	}
+}
+
+func TestCollectRuns(t *testing.T) {
+	confs := []Confusion{
+		{TP: 8, FP: 2, FN: 2, TN: 88},
+		{TP: 6, FP: 4, FN: 4, TN: 86},
+	}
+	rs := CollectRuns(confs, []float64{20, 24}, []float64{1.5, 2.5})
+	if rs.FMeasure.N != 2 {
+		t.Fatalf("runs = %d", rs.FMeasure.N)
+	}
+	if rs.Precision.Max != 0.8 || rs.Precision.Min != 0.6 {
+		t.Fatalf("precision summary = %+v", rs.Precision)
+	}
+	if rs.AvgWindowSize != 22 {
+		t.Fatalf("avg window = %v", rs.AvgWindowSize)
+	}
+	if rs.TrainSeconds != 2 {
+		t.Fatalf("train seconds = %v", rs.TrainSeconds)
+	}
+}

@@ -1,0 +1,249 @@
+// Package monitor implements DBCatcher's data processing module (§III-A):
+// per-(KPI, database) queues fed by a collector at 5-second intervals, and
+// an online streaming judge that runs the flexible-window detection as
+// points arrive, waiting for more data whenever a round is "observable".
+package monitor
+
+import (
+	"fmt"
+	"sync"
+
+	"dbcatcher/internal/correlate"
+	"dbcatcher/internal/detect"
+	"dbcatcher/internal/timeseries"
+	"dbcatcher/internal/window"
+)
+
+// Processor maintains the per-KPI, per-database observation queues. The
+// paper's module keeps one queue per KPI per database; Processor uses
+// fixed-capacity rings sized to cover the maximum detection window. It is
+// safe for concurrent use.
+type Processor struct {
+	mu    sync.Mutex
+	kpis  int
+	dbs   int
+	rings [][]*timeseries.Ring
+	total int // points ingested since start
+}
+
+// NewProcessor allocates queues for the given shape; capacity is the ring
+// depth and must cover the maximum window plus any judgment lag.
+func NewProcessor(kpis, dbs, capacity int) *Processor {
+	if kpis <= 0 || dbs <= 0 {
+		panic("monitor: non-positive shape")
+	}
+	p := &Processor{kpis: kpis, dbs: dbs}
+	p.rings = make([][]*timeseries.Ring, kpis)
+	for k := range p.rings {
+		p.rings[k] = make([]*timeseries.Ring, dbs)
+		for d := range p.rings[k] {
+			p.rings[k][d] = timeseries.NewRing(capacity)
+		}
+	}
+	return p
+}
+
+// Shape returns the configured KPI and database counts.
+func (p *Processor) Shape() (kpis, dbs int) { return p.kpis, p.dbs }
+
+// Ticks returns the number of samples ingested so far.
+func (p *Processor) Ticks() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.total
+}
+
+// Ingest adds one collection tick: sample[k][d] is KPI k's value on
+// database d.
+func (p *Processor) Ingest(sample [][]float64) error {
+	if len(sample) != p.kpis {
+		return fmt.Errorf("monitor: sample has %d KPI rows, want %d", len(sample), p.kpis)
+	}
+	for k, row := range sample {
+		if len(row) != p.dbs {
+			return fmt.Errorf("monitor: KPI %d row has %d databases, want %d", k, len(row), p.dbs)
+		}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for k, row := range sample {
+		for d, v := range row {
+			p.rings[k][d].Push(v)
+		}
+	}
+	p.total++
+	return nil
+}
+
+// Window materializes the series covering the absolute tick range
+// [start, start+size) as a UnitSeries. It fails when the range has been
+// evicted from the rings or has not arrived yet.
+func (p *Processor) Window(start, size int) (*timeseries.UnitSeries, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if size <= 0 {
+		return nil, fmt.Errorf("monitor: non-positive window size %d", size)
+	}
+	if start+size > p.total {
+		return nil, fmt.Errorf("monitor: window [%d, %d) not yet collected (have %d)", start, start+size, p.total)
+	}
+	oldest := p.total - p.rings[0][0].Len()
+	if start < oldest {
+		return nil, fmt.Errorf("monitor: window start %d evicted (oldest %d)", start, oldest)
+	}
+	u := timeseries.NewUnitSeries("live", p.kpis, p.dbs)
+	for k := 0; k < p.kpis; k++ {
+		for d := 0; d < p.dbs; d++ {
+			ring := p.rings[k][d]
+			// Ring index 0 is absolute tick `oldest`.
+			vals := make([]float64, size)
+			for i := 0; i < size; i++ {
+				vals[i] = ring.At(start - oldest + i)
+			}
+			u.Data[k][d].Values = vals
+		}
+	}
+	return u, nil
+}
+
+// Verdict augments a detection verdict with collection bookkeeping.
+type Verdict struct {
+	detect.Verdict
+	// Tick is the absolute collection tick at which the round completed.
+	Tick int
+}
+
+// Online couples a Processor with the streaming judgment loop: push one
+// sample per tick and receive a verdict whenever a round resolves. When a
+// round is Observable, Online simply waits for Δ more points — the
+// "DBCatcher waits for data points" behaviour of §III-C.
+type Online struct {
+	cfg        detect.Config
+	proc       *Processor
+	flex       *window.Flex
+	roundStart int
+	expansions int
+}
+
+// NewOnline builds a streaming judge for the given shape. The processor's
+// ring capacity is sized to the maximum window automatically.
+func NewOnline(cfg detect.Config, kpis, dbs int) (*Online, error) {
+	if cfg.Flex == (window.FlexConfig{}) {
+		cfg.Flex = window.DefaultFlexConfig()
+	}
+	if err := cfg.Flex.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Thresholds.Validate(kpis); err != nil {
+		return nil, err
+	}
+	flex, err := window.NewFlex(cfg.Flex)
+	if err != nil {
+		return nil, err
+	}
+	// Capacity: the max window plus one expansion step of slack.
+	capacity := cfg.Flex.Max + cfg.Flex.Initial
+	return &Online{
+		cfg:  cfg,
+		proc: NewProcessor(kpis, dbs, capacity),
+		flex: flex,
+	}, nil
+}
+
+// Processor exposes the underlying queues (for inspection endpoints).
+func (o *Online) Processor() *Processor { return o.proc }
+
+// Thresholds returns the active judgment thresholds.
+func (o *Online) Thresholds() window.Thresholds { return o.cfg.Thresholds.Clone() }
+
+// SetActive marks which databases currently participate (databases can be
+// "flexibly expanded" or reduced, §III-B/§III-C: an unused database does
+// not take part in the correlation level calculation and its scores read
+// as 0). nil re-activates all databases.
+func (o *Online) SetActive(active []bool) error {
+	_, dbs := o.proc.Shape()
+	if active != nil && len(active) != dbs {
+		return fmt.Errorf("monitor: active mask has %d entries for %d databases", len(active), dbs)
+	}
+	if active == nil {
+		o.cfg.Active = nil
+		return nil
+	}
+	o.cfg.Active = append([]bool(nil), active...)
+	return nil
+}
+
+// SetPrimary follows a failover: R-R-typed KPIs are judged among replicas
+// only, so the detector must know which database is currently primary.
+func (o *Online) SetPrimary(db int) error {
+	_, dbs := o.proc.Shape()
+	if db < 0 || db >= dbs {
+		return fmt.Errorf("monitor: primary %d out of %d databases", db, dbs)
+	}
+	o.cfg.Primary = db
+	return nil
+}
+
+// SetThresholds swaps the judgment thresholds (used by the online feedback
+// module after retraining).
+func (o *Online) SetThresholds(t window.Thresholds) error {
+	kpis, _ := o.proc.Shape()
+	if err := t.Validate(kpis); err != nil {
+		return err
+	}
+	o.cfg.Thresholds = t.Clone()
+	return nil
+}
+
+// Push ingests one collection tick and, if enough points have accumulated
+// to finish the current judgment round, returns its verdict (nil
+// otherwise).
+func (o *Online) Push(sample [][]float64) (*Verdict, error) {
+	if err := o.proc.Ingest(sample); err != nil {
+		return nil, err
+	}
+	size := o.flex.Size()
+	if o.proc.Ticks() < o.roundStart+size {
+		return nil, nil // detection task blocked until the window fills
+	}
+	u, err := o.proc.Window(o.roundStart, size)
+	if err != nil {
+		return nil, err
+	}
+	kpis, dbs := o.proc.Shape()
+	measure := o.cfg.Measure
+	if measure == nil {
+		measure = correlate.KCDMeasure(correlate.DetectionOptions())
+	}
+	mats, err := correlate.BuildMatrices(u, 0, size, o.cfg.Active, measure)
+	if err != nil {
+		return nil, err
+	}
+	states := detect.JudgeMatrices(mats, o.cfg, kpis, dbs)
+	round := detect.RoundState(states)
+	final, done := o.flex.Resolve(round)
+	if !done {
+		o.expansions++
+		return nil, nil // window expanded; wait for Δ more points
+	}
+	exhausted := round == window.Observable && final == o.cfg.Flex.ExhaustState && !o.cfg.Flex.Disabled
+	finals := detect.FinalizeStates(states, o.cfg.Flex, exhausted)
+	v := &Verdict{Tick: o.proc.Ticks()}
+	v.Start = o.roundStart
+	v.Size = size
+	v.Expansions = o.expansions
+	v.States = finals
+	v.AbnormalDB = -1
+	for d, s := range finals {
+		if s == window.Abnormal {
+			v.Abnormal = true
+			if v.AbnormalDB == -1 {
+				v.AbnormalDB = d
+			}
+		}
+	}
+	o.roundStart += size
+	o.flex.Reset()
+	o.expansions = 0
+	return v, nil
+}

@@ -1,0 +1,266 @@
+package monitor
+
+import (
+	"testing"
+
+	"dbcatcher/internal/anomaly"
+	"dbcatcher/internal/cluster"
+	"dbcatcher/internal/detect"
+	"dbcatcher/internal/kpi"
+	"dbcatcher/internal/mathx"
+	"dbcatcher/internal/window"
+	"dbcatcher/internal/workload"
+)
+
+func TestProcessorIngestAndWindow(t *testing.T) {
+	p := NewProcessor(2, 3, 10)
+	if k, d := p.Shape(); k != 2 || d != 3 {
+		t.Fatal("shape wrong")
+	}
+	for i := 0; i < 5; i++ {
+		sample := [][]float64{
+			{float64(i), float64(i + 10), float64(i + 20)},
+			{float64(i + 30), float64(i + 40), float64(i + 50)},
+		}
+		if err := p.Ingest(sample); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.Ticks() != 5 {
+		t.Fatalf("Ticks = %d", p.Ticks())
+	}
+	u, err := p.Window(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Series(0, 0).At(0) != 1 || u.Series(1, 2).At(2) != 53 {
+		t.Fatalf("window values wrong: %v / %v", u.Series(0, 0).Values, u.Series(1, 2).Values)
+	}
+}
+
+func TestProcessorIngestValidation(t *testing.T) {
+	p := NewProcessor(2, 2, 4)
+	if err := p.Ingest([][]float64{{1, 2}}); err == nil {
+		t.Fatal("short sample should fail")
+	}
+	if err := p.Ingest([][]float64{{1}, {2, 3}}); err == nil {
+		t.Fatal("ragged sample should fail")
+	}
+}
+
+func TestProcessorWindowErrors(t *testing.T) {
+	p := NewProcessor(1, 1, 4)
+	for i := 0; i < 8; i++ {
+		p.Ingest([][]float64{{float64(i)}})
+	}
+	// Only ticks 4..7 remain.
+	if _, err := p.Window(2, 3); err == nil {
+		t.Fatal("evicted window should fail")
+	}
+	if _, err := p.Window(6, 5); err == nil {
+		t.Fatal("future window should fail")
+	}
+	if _, err := p.Window(5, 0); err == nil {
+		t.Fatal("zero size should fail")
+	}
+	u, err := p.Window(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Series(0, 0).At(0) != 4 {
+		t.Fatal("oldest retained value wrong")
+	}
+}
+
+// feedOnline streams a simulated unit through the online judge and
+// collects verdicts.
+func feedOnline(t *testing.T, o *Online, u *cluster.Unit) []*Verdict {
+	t.Helper()
+	n := u.Series.Len()
+	var verdicts []*Verdict
+	sample := make([][]float64, u.Series.KPIs)
+	for k := range sample {
+		sample[k] = make([]float64, u.Series.Databases)
+	}
+	for tick := 0; tick < n; tick++ {
+		for k := 0; k < u.Series.KPIs; k++ {
+			for d := 0; d < u.Series.Databases; d++ {
+				sample[k][d] = u.Series.Data[k][d].At(tick)
+			}
+		}
+		v, err := o.Push(sample)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != nil {
+			verdicts = append(verdicts, v)
+		}
+	}
+	return verdicts
+}
+
+func TestOnlineMatchesOfflineOnHealthyUnit(t *testing.T) {
+	u, err := cluster.Simulate(cluster.Config{
+		Name: "u", Ticks: 400, Seed: 31, Profile: workload.TencentIrregular,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := detect.Config{Thresholds: window.DefaultThresholds(kpi.Count)}
+	o, err := NewOnline(cfg, kpi.Count, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	online := feedOnline(t, o, u)
+	offline, _, err := detect.Run(u.Series, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(online) != len(offline) {
+		t.Fatalf("online %d verdicts vs offline %d", len(online), len(offline))
+	}
+	for i := range online {
+		if online[i].Start != offline[i].Start || online[i].Size != offline[i].Size {
+			t.Fatalf("verdict %d window mismatch: online [%d,%d) offline [%d,%d)",
+				i, online[i].Start, online[i].Size, offline[i].Start, offline[i].Size)
+		}
+		if online[i].Abnormal != offline[i].Abnormal {
+			t.Fatalf("verdict %d disagreement at window %d", i, online[i].Start)
+		}
+	}
+}
+
+func TestOnlineDetectsAnomalyAsItStreams(t *testing.T) {
+	u, err := cluster.Simulate(cluster.Config{
+		Name: "u", Ticks: 300, Seed: 32, Profile: workload.TencentIrregular,
+		FluctuationRate: 1e-9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := anomaly.Inject(u, []anomaly.Event{
+		{Type: anomaly.Stall, DB: 3, Start: 120, Length: 40, Magnitude: 0.9},
+	}, mathx.NewRNG(1)); err != nil {
+		t.Fatal(err)
+	}
+	o, err := NewOnline(detect.Config{Thresholds: window.DefaultThresholds(kpi.Count)}, kpi.Count, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verdicts := feedOnline(t, o, u)
+	found := false
+	for _, v := range verdicts {
+		if v.Abnormal && v.Start < 160 && v.Start+v.Size > 120 {
+			found = true
+			if v.AbnormalDB != 3 {
+				t.Errorf("flagged db %d, want 3", v.AbnormalDB)
+			}
+			// The verdict must land promptly: at the tick the window
+			// completed, not later.
+			if v.Tick != v.Start+v.Size {
+				t.Errorf("verdict tick %d, want %d", v.Tick, v.Start+v.Size)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("online judge missed the stall")
+	}
+}
+
+func TestOnlineSetThresholds(t *testing.T) {
+	o, err := NewOnline(detect.Config{Thresholds: window.DefaultThresholds(kpi.Count)}, kpi.Count, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := o.Thresholds()
+	th.Alpha[0] = 0.77
+	if err := o.SetThresholds(th); err != nil {
+		t.Fatal(err)
+	}
+	if o.Thresholds().Alpha[0] != 0.77 {
+		t.Fatal("thresholds not swapped")
+	}
+	bad := th.Clone()
+	bad.Alpha = bad.Alpha[:2]
+	if err := o.SetThresholds(bad); err == nil {
+		t.Fatal("invalid thresholds should be rejected")
+	}
+}
+
+func TestNewOnlineValidation(t *testing.T) {
+	if _, err := NewOnline(detect.Config{Thresholds: window.DefaultThresholds(3)}, kpi.Count, 5); err == nil {
+		t.Fatal("threshold/KPI mismatch should fail")
+	}
+	bad := detect.Config{
+		Thresholds: window.DefaultThresholds(kpi.Count),
+		Flex:       window.FlexConfig{Initial: 50, Max: 10},
+	}
+	if _, err := NewOnline(bad, kpi.Count, 5); err == nil {
+		t.Fatal("invalid flex should fail")
+	}
+}
+
+func TestNewProcessorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewProcessor(0, 5, 10)
+}
+
+func TestOnlineSetPrimaryFollowsFailover(t *testing.T) {
+	o, err := NewOnline(detect.Config{
+		Thresholds: window.DefaultThresholds(kpi.Count),
+	}, kpi.Count, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.SetPrimary(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.SetPrimary(7); err == nil {
+		t.Fatal("out-of-range primary should be rejected")
+	}
+	if err := o.SetPrimary(-1); err == nil {
+		t.Fatal("negative primary should be rejected")
+	}
+}
+
+func TestOnlineSetActiveExcludesDatabase(t *testing.T) {
+	// A garbage database is ignored once deactivated, even while its data
+	// keeps flowing.
+	u, err := cluster.Simulate(cluster.Config{
+		Name: "u", Ticks: 200, Seed: 41, Profile: workload.TencentIrregular,
+		FluctuationRate: 1e-9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wreck db4 completely.
+	for k := 0; k < kpi.Count; k++ {
+		vals := u.Series.Data[k][4].Values
+		for i := range vals {
+			vals[i] = float64((i*7 + k) % 13)
+		}
+	}
+	o, err := NewOnline(detect.Config{Thresholds: window.DefaultThresholds(kpi.Count)}, kpi.Count, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.SetActive([]bool{true, true, true, true, false}); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range feedOnline(t, o, u) {
+		if v.States[4] == window.Abnormal {
+			t.Fatal("deactivated database was judged abnormal")
+		}
+	}
+	// Validation.
+	if err := o.SetActive([]bool{true}); err == nil {
+		t.Fatal("wrong-length mask should be rejected")
+	}
+	if err := o.SetActive(nil); err != nil {
+		t.Fatal(err)
+	}
+}

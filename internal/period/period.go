@@ -1,0 +1,158 @@
+// Package period detects whether a time series carries significant
+// periodicity. It stands in for the RobustPeriod method [34] the paper uses
+// to split the Tencent dataset into periodic and irregular halves (§IV-A2);
+// see DESIGN.md for the substitution rationale.
+//
+// The detector combines two independent pieces of evidence, in the spirit
+// of RobustPeriod's "periodogram + ACF validation" stage:
+//
+//  1. a periodogram peak that is a large multiple of the median spectral
+//     power (Fisher-style significance), and
+//  2. an autocorrelation peak at the candidate period confirming that the
+//     periodicity holds in the time domain.
+package period
+
+import (
+	"math"
+
+	"dbcatcher/internal/mathx"
+)
+
+// Config tunes the detector.
+type Config struct {
+	// MinPeriod and MaxPeriod bound the candidate period in ticks.
+	// Defaults: 8 and len/3.
+	MinPeriod, MaxPeriod int
+	// PowerRatio is the required ratio between the periodogram peak and
+	// the median power. Default 20.
+	PowerRatio float64
+	// MinACF is the required autocorrelation at the candidate period.
+	// Default 0.3.
+	MinACF float64
+	// Detrend removes a moving-average trend before analysis. Default on
+	// (disable only in tests).
+	NoDetrend bool
+}
+
+func (c Config) withDefaults(n int) Config {
+	if c.MinPeriod == 0 {
+		c.MinPeriod = 8
+	}
+	if c.MaxPeriod == 0 {
+		c.MaxPeriod = n / 3
+	}
+	if c.PowerRatio == 0 {
+		c.PowerRatio = 20
+	}
+	if c.MinACF == 0 {
+		c.MinACF = 0.3
+	}
+	return c
+}
+
+// Result reports the detection outcome.
+type Result struct {
+	// Periodic is true when both the spectral and temporal tests pass.
+	Periodic bool
+	// Period is the detected period in ticks (0 when not periodic).
+	Period int
+	// Score is the periodogram peak-to-median power ratio.
+	Score float64
+	// ACF is the autocorrelation at the detected period.
+	ACF float64
+}
+
+// Detect analyses one series.
+func Detect(x []float64, cfg Config) Result {
+	n := len(x)
+	if n < 32 {
+		return Result{}
+	}
+	cfg = cfg.withDefaults(n)
+
+	// Detrend in two stages: first a least-squares line (a wide moving
+	// average leaves large edge residuals under linear drift), then a wide
+	// moving average for the remaining slow curvature. Together they stop
+	// drift from masquerading as low-frequency periodicity.
+	work := mathx.Clone(x)
+	if !cfg.NoDetrend {
+		removeLine(work)
+		trend := mathx.MovingAverage(work, n/4*2+1)
+		for i := range work {
+			work[i] -= trend[i]
+		}
+	}
+	if mathx.Std(work) == 0 {
+		return Result{}
+	}
+
+	// Spectral evidence.
+	p := mathx.Periodogram(work)
+	// Ignore the DC bin and frequencies outside the period band.
+	loBin := int(math.Ceil(float64(n) / float64(cfg.MaxPeriod)))
+	hiBin := n / cfg.MinPeriod
+	if loBin < 1 {
+		loBin = 1
+	}
+	if hiBin >= len(p) {
+		hiBin = len(p) - 1
+	}
+	if hiBin < loBin {
+		return Result{}
+	}
+	band := p[loBin : hiBin+1]
+	peakIdx := mathx.ArgMax(band) + loBin
+	med := mathx.Median(p[1:])
+	if med == 0 {
+		return Result{}
+	}
+	score := p[peakIdx] / med
+	candidate := int(math.Round(float64(n) / float64(peakIdx)))
+	if candidate < cfg.MinPeriod || candidate > cfg.MaxPeriod {
+		return Result{Score: score}
+	}
+
+	// Temporal confirmation: the ACF must peak near the candidate period.
+	maxLag := candidate + candidate/4 + 1
+	ac := mathx.Autocorrelation(work, maxLag)
+	best := -1.0
+	for lag := candidate - candidate/4; lag <= candidate+candidate/4 && lag < len(ac); lag++ {
+		if lag >= 1 && ac[lag] > best {
+			best = ac[lag]
+		}
+	}
+
+	res := Result{Score: score, ACF: best, Period: candidate}
+	res.Periodic = score >= cfg.PowerRatio && best >= cfg.MinACF
+	if !res.Periodic {
+		res.Period = 0
+	}
+	return res
+}
+
+// IsPeriodic is a convenience wrapper with default configuration.
+func IsPeriodic(x []float64) bool { return Detect(x, Config{}).Periodic }
+
+// removeLine subtracts the least-squares straight line from v in place.
+func removeLine(v []float64) {
+	n := len(v)
+	if n < 2 {
+		return
+	}
+	// Closed-form simple linear regression on index.
+	tMean := float64(n-1) / 2
+	yMean := mathx.Mean(v)
+	var num, den float64
+	for i, y := range v {
+		dt := float64(i) - tMean
+		num += dt * (y - yMean)
+		den += dt * dt
+	}
+	slope := 0.0
+	if den != 0 {
+		slope = num / den
+	}
+	for i := range v {
+		v[i] -= yMean + slope*(float64(i)-tMean)
+	}
+}

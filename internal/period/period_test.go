@@ -1,0 +1,118 @@
+package period
+
+import (
+	"math"
+	"testing"
+
+	"dbcatcher/internal/mathx"
+)
+
+func TestDetectPureSine(t *testing.T) {
+	n := 1024
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * float64(i) / 64)
+	}
+	res := Detect(x, Config{})
+	if !res.Periodic {
+		t.Fatalf("pure sine not detected: %+v", res)
+	}
+	if res.Period < 58 || res.Period > 70 {
+		t.Fatalf("period = %d, want ~64", res.Period)
+	}
+}
+
+func TestDetectNoisySine(t *testing.T) {
+	rng := mathx.NewRNG(1)
+	n := 2048
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 3*math.Sin(2*math.Pi*float64(i)/128) + rng.Norm()
+	}
+	res := Detect(x, Config{})
+	if !res.Periodic {
+		t.Fatalf("noisy sine not detected: %+v", res)
+	}
+}
+
+func TestDetectWhiteNoise(t *testing.T) {
+	rng := mathx.NewRNG(2)
+	x := make([]float64, 2048)
+	for i := range x {
+		x[i] = rng.Norm()
+	}
+	if res := Detect(x, Config{}); res.Periodic {
+		t.Fatalf("white noise flagged periodic: %+v", res)
+	}
+}
+
+func TestDetectRandomWalkNotPeriodic(t *testing.T) {
+	rng := mathx.NewRNG(3)
+	x := make([]float64, 2048)
+	v := 0.0
+	for i := range x {
+		v += rng.Norm()
+		x[i] = v
+	}
+	if res := Detect(x, Config{}); res.Periodic {
+		t.Fatalf("random walk flagged periodic: %+v", res)
+	}
+}
+
+func TestDetectSineWithTrend(t *testing.T) {
+	// Detrending must expose periodicity underneath a linear trend.
+	n := 1024
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 0.05*float64(i) + math.Sin(2*math.Pi*float64(i)/64)
+	}
+	if res := Detect(x, Config{}); !res.Periodic {
+		t.Fatalf("trended sine not detected: %+v", res)
+	}
+}
+
+func TestDetectShortSeries(t *testing.T) {
+	if res := Detect(make([]float64, 10), Config{}); res.Periodic {
+		t.Fatal("too-short series cannot be classified periodic")
+	}
+}
+
+func TestDetectConstant(t *testing.T) {
+	x := make([]float64, 256)
+	for i := range x {
+		x[i] = 5
+	}
+	if res := Detect(x, Config{}); res.Periodic {
+		t.Fatal("constant series flagged periodic")
+	}
+}
+
+func TestIsPeriodicWrapper(t *testing.T) {
+	n := 1024
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * float64(i) / 32)
+	}
+	if !IsPeriodic(x) {
+		t.Fatal("IsPeriodic failed on sine")
+	}
+}
+
+func TestDetectNoDetrend(t *testing.T) {
+	// With detrending disabled, a strong linear trend swamps the spectrum
+	// and the sine goes undetected — the reason detrending is on by
+	// default.
+	n := 1024
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 0.5*float64(i) + math.Sin(2*math.Pi*float64(i)/64)
+	}
+	withDetrend := Detect(x, Config{})
+	noDetrend := Detect(x, Config{NoDetrend: true})
+	if !withDetrend.Periodic {
+		t.Fatal("detrended detection should succeed")
+	}
+	if noDetrend.Periodic && noDetrend.Period > 50 && noDetrend.Period < 80 {
+		t.Log("NoDetrend found the period anyway (acceptable)")
+	}
+}

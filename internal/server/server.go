@@ -1,0 +1,250 @@
+// Package server exposes a DBCatcher online detector over HTTP, the
+// "bypass monitoring system" integration surface of Fig. 2: operators and
+// dashboards read unit status, recent verdicts, and the active thresholds,
+// and the online feedback loop can swap thresholds in.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"dbcatcher/internal/detect"
+	"dbcatcher/internal/kpi"
+	"dbcatcher/internal/monitor"
+	"dbcatcher/internal/window"
+)
+
+// Server wraps an online detector with a JSON HTTP API. It is safe for
+// concurrent use; the feeder goroutine pushes samples while handlers read.
+type Server struct {
+	mu       sync.Mutex
+	online   *monitor.Online
+	verdicts []verdictJSON // bounded history, newest last
+	maxHist  int
+	unitName string
+}
+
+// New wraps the online detector. maxHistory bounds the verdict buffer
+// (default 256).
+func New(o *monitor.Online, unitName string, maxHistory int) *Server {
+	if maxHistory <= 0 {
+		maxHistory = 256
+	}
+	return &Server{online: o, maxHist: maxHistory, unitName: unitName}
+}
+
+type verdictJSON struct {
+	Tick       int      `json:"tick"`
+	Start      int      `json:"start"`
+	Size       int      `json:"size"`
+	Abnormal   bool     `json:"abnormal"`
+	AbnormalDB int      `json:"abnormalDb"`
+	States     []string `json:"states"`
+	Expansions int      `json:"expansions"`
+}
+
+// Push feeds one sample through the detector and records any verdict.
+func (s *Server) Push(sample [][]float64) (*monitor.Verdict, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, err := s.online.Push(sample)
+	if err != nil {
+		return nil, err
+	}
+	if v != nil {
+		states := make([]string, len(v.States))
+		for i, st := range v.States {
+			states[i] = st.String()
+		}
+		s.verdicts = append(s.verdicts, verdictJSON{
+			Tick: v.Tick, Start: v.Start, Size: v.Size,
+			Abnormal: v.Abnormal, AbnormalDB: v.AbnormalDB,
+			States: states, Expansions: v.Expansions,
+		})
+		if len(s.verdicts) > s.maxHist {
+			s.verdicts = s.verdicts[len(s.verdicts)-s.maxHist:]
+		}
+	}
+	return v, nil
+}
+
+// Handler returns the HTTP routing for the API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/api/status", s.handleStatus)
+	mux.HandleFunc("/api/verdicts", s.handleVerdicts)
+	mux.HandleFunc("/api/thresholds", s.handleThresholds)
+	mux.HandleFunc("/api/kpis", s.handleKPIs)
+	mux.HandleFunc("/api/explain", s.handleExplain)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	kpis, dbs := s.online.Processor().Shape()
+	abnormal := 0
+	for _, v := range s.verdicts {
+		if v.Abnormal {
+			abnormal++
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"unit":             s.unitName,
+		"kpis":             kpis,
+		"databases":        dbs,
+		"ticksIngested":    s.online.Processor().Ticks(),
+		"verdicts":         len(s.verdicts),
+		"abnormalVerdicts": abnormal,
+	})
+}
+
+func (s *Server) handleVerdicts(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	limit := 50
+	if q := r.URL.Query().Get("limit"); q != "" {
+		if _, err := fmt.Sscanf(q, "%d", &limit); err != nil || limit <= 0 {
+			http.Error(w, "bad limit", http.StatusBadRequest)
+			return
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	vs := s.verdicts
+	if len(vs) > limit {
+		vs = vs[len(vs)-limit:]
+	}
+	out := make([]verdictJSON, len(vs))
+	copy(out, vs)
+	writeJSON(w, http.StatusOK, out)
+}
+
+type thresholdsJSON struct {
+	Alpha        []float64 `json:"alpha"`
+	Theta        float64   `json:"theta"`
+	MaxTolerance int       `json:"maxTolerance"`
+}
+
+func (s *Server) handleThresholds(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		s.mu.Lock()
+		th := s.online.Thresholds()
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, thresholdsJSON{
+			Alpha: th.Alpha, Theta: th.Theta, MaxTolerance: th.MaxTolerance,
+		})
+	case http.MethodPost, http.MethodPut:
+		var body thresholdsJSON
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			http.Error(w, "bad json: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		th := window.Thresholds{
+			Alpha: body.Alpha, Theta: body.Theta, MaxTolerance: body.MaxTolerance,
+		}
+		s.mu.Lock()
+		err := s.online.SetThresholds(th)
+		s.mu.Unlock()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "updated"})
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+// handleExplain attributes the most recent completed judgment window to
+// indicators (root-cause hints for operators).
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.verdicts) == 0 {
+		http.Error(w, "no completed judgment windows yet", http.StatusNotFound)
+		return
+	}
+	last := s.verdicts[len(s.verdicts)-1]
+	u, err := s.online.Processor().Window(last.Start, last.Size)
+	if err != nil {
+		http.Error(w, "window evicted: "+err.Error(), http.StatusGone)
+		return
+	}
+	exps, err := detect.Explain(detect.NewProvider(u, nil, nil), detect.Config{
+		Thresholds: s.online.Thresholds(),
+	}, 0, last.Size)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	type findingJSON struct {
+		KPI   string  `json:"kpi"`
+		Level string  `json:"level"`
+		Score float64 `json:"bestScore"`
+	}
+	type expJSON struct {
+		DB       int           `json:"db"`
+		State    string        `json:"state"`
+		Findings []findingJSON `json:"findings"`
+	}
+	out := struct {
+		Start int       `json:"start"`
+		Size  int       `json:"size"`
+		DBs   []expJSON `json:"databases"`
+	}{Start: last.Start, Size: last.Size}
+	for _, e := range exps {
+		ej := expJSON{DB: e.DB, State: e.State.String()}
+		for _, f := range e.KPIs {
+			if f.Level == window.Level3 {
+				continue
+			}
+			ej.Findings = append(ej.Findings, findingJSON{
+				KPI: f.KPI.String(), Level: f.Level.String(), Score: f.BestScore,
+			})
+		}
+		out.DBs = append(out.DBs, ej)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleKPIs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	type kpiJSON struct {
+		ID          int    `json:"id"`
+		Name        string `json:"name"`
+		Correlation string `json:"correlation"`
+	}
+	out := make([]kpiJSON, 0, kpi.Count)
+	for _, k := range kpi.All() {
+		out = append(out, kpiJSON{ID: int(k), Name: k.String(), Correlation: k.Correlation().String()})
+	}
+	writeJSON(w, http.StatusOK, out)
+}

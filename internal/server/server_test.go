@@ -1,0 +1,217 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"dbcatcher/internal/anomaly"
+	"dbcatcher/internal/cluster"
+	"dbcatcher/internal/detect"
+	"dbcatcher/internal/kpi"
+	"dbcatcher/internal/mathx"
+	"dbcatcher/internal/monitor"
+	"dbcatcher/internal/window"
+	"dbcatcher/internal/workload"
+)
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	o, err := monitor.NewOnline(detect.Config{
+		Thresholds: window.DefaultThresholds(kpi.Count),
+	}, kpi.Count, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(o, "unit-test", 16)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func getJSON(t *testing.T, url string, out interface{}) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t)
+	var body map[string]string
+	resp := getJSON(t, ts.URL+"/healthz", &body)
+	if resp.StatusCode != 200 || body["status"] != "ok" {
+		t.Fatalf("healthz = %d %v", resp.StatusCode, body)
+	}
+}
+
+func TestStatusAndVerdictsFlow(t *testing.T) {
+	s, ts := newTestServer(t)
+	// Stream a simulated unit with a stall through the server.
+	u, err := cluster.Simulate(cluster.Config{
+		Name: "u", Ticks: 200, Seed: 1, Profile: workload.TencentIrregular,
+		FluctuationRate: 1e-9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := anomaly.Inject(u, []anomaly.Event{
+		{Type: anomaly.Stall, DB: 2, Start: 80, Length: 40, Magnitude: 0.9},
+	}, mathx.NewRNG(2)); err != nil {
+		t.Fatal(err)
+	}
+	sample := make([][]float64, kpi.Count)
+	for k := range sample {
+		sample[k] = make([]float64, 5)
+	}
+	for tick := 0; tick < 200; tick++ {
+		for k := 0; k < kpi.Count; k++ {
+			for d := 0; d < 5; d++ {
+				sample[k][d] = u.Series.Data[k][d].At(tick)
+			}
+		}
+		if _, err := s.Push(sample); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var status map[string]interface{}
+	getJSON(t, ts.URL+"/api/status", &status)
+	if status["ticksIngested"].(float64) != 200 {
+		t.Fatalf("ticks = %v", status["ticksIngested"])
+	}
+	if status["abnormalVerdicts"].(float64) < 1 {
+		t.Fatal("no abnormal verdicts recorded")
+	}
+	var verdicts []map[string]interface{}
+	getJSON(t, ts.URL+"/api/verdicts?limit=5", &verdicts)
+	if len(verdicts) == 0 || len(verdicts) > 5 {
+		t.Fatalf("verdicts = %d", len(verdicts))
+	}
+	// Bad limit.
+	resp, _ := http.Get(ts.URL + "/api/verdicts?limit=-2")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad limit status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+func TestThresholdsRoundTrip(t *testing.T) {
+	_, ts := newTestServer(t)
+	var th struct {
+		Alpha        []float64 `json:"alpha"`
+		Theta        float64   `json:"theta"`
+		MaxTolerance int       `json:"maxTolerance"`
+	}
+	getJSON(t, ts.URL+"/api/thresholds", &th)
+	if len(th.Alpha) != kpi.Count {
+		t.Fatalf("alpha count = %d", len(th.Alpha))
+	}
+	// Update.
+	th.Theta = 0.19
+	buf, _ := json.Marshal(th)
+	resp, err := http.Post(ts.URL+"/api/thresholds", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("post status = %d", resp.StatusCode)
+	}
+	getJSON(t, ts.URL+"/api/thresholds", &th)
+	if th.Theta != 0.19 {
+		t.Fatalf("theta = %v after update", th.Theta)
+	}
+	// Invalid thresholds rejected.
+	bad := th
+	bad.Alpha = bad.Alpha[:2]
+	buf, _ = json.Marshal(bad)
+	resp, err = http.Post(ts.URL+"/api/thresholds", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("invalid thresholds status = %d", resp.StatusCode)
+	}
+}
+
+func TestKPIsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	var kpis []map[string]interface{}
+	getJSON(t, ts.URL+"/api/kpis", &kpis)
+	if len(kpis) != kpi.Count {
+		t.Fatalf("kpis = %d", len(kpis))
+	}
+	if kpis[2]["name"] != "CPU Utilization" {
+		t.Fatalf("kpi 2 = %v", kpis[2]["name"])
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Post(ts.URL+"/api/status", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestExplainEndpoint(t *testing.T) {
+	s, ts := newTestServer(t)
+	// Before any verdict: 404.
+	resp, err := http.Get(ts.URL + "/api/explain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pre-verdict status = %d", resp.StatusCode)
+	}
+	// Stream enough ticks for a verdict.
+	u, err := cluster.Simulate(cluster.Config{Name: "u", Ticks: 40, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sample := make([][]float64, kpi.Count)
+	for k := range sample {
+		sample[k] = make([]float64, 5)
+	}
+	for tick := 0; tick < 40; tick++ {
+		for k := 0; k < kpi.Count; k++ {
+			for d := 0; d < 5; d++ {
+				sample[k][d] = u.Series.Data[k][d].At(tick)
+			}
+		}
+		if _, err := s.Push(sample); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var out struct {
+		Start int `json:"start"`
+		Size  int `json:"size"`
+		DBs   []struct {
+			DB    int    `json:"db"`
+			State string `json:"state"`
+		} `json:"databases"`
+	}
+	getJSON(t, ts.URL+"/api/explain", &out)
+	if len(out.DBs) != 5 {
+		t.Fatalf("databases = %d", len(out.DBs))
+	}
+	if out.Size < 20 {
+		t.Fatalf("size = %d", out.Size)
+	}
+}

@@ -1,0 +1,43 @@
+package thresholds
+
+import (
+	"dbcatcher/internal/anomaly"
+	"dbcatcher/internal/detect"
+	"dbcatcher/internal/metrics"
+	"dbcatcher/internal/window"
+)
+
+// Sample pairs a matrix source with its ground truth for fitness
+// evaluation. Wrap the provider in detect.NewCachedProvider so that every
+// genome evaluation after the first reuses the correlation matrices: the
+// scores do not depend on the thresholds being searched.
+type Sample struct {
+	Provider detect.MatrixProvider
+	Labels   *anomaly.Labels
+}
+
+// DetectorFitness builds the Fitness used by DBCatcher's online feedback
+// module: run the detector with the candidate thresholds over the recent
+// labelled units and score the F-Measure of the resulting verdicts.
+func DetectorFitness(samples []Sample, flex window.FlexConfig) Fitness {
+	return func(t window.Thresholds) float64 {
+		var c metrics.Confusion
+		for _, s := range samples {
+			verdicts, _, err := detect.RunProvider(s.Provider, detect.Config{
+				Thresholds: t,
+				Flex:       flex,
+			})
+			if err != nil {
+				// An invalid genome scores zero rather than aborting the
+				// search.
+				return 0
+			}
+			part, err := detect.Evaluate(verdicts, s.Labels)
+			if err != nil {
+				return 0
+			}
+			c.Merge(part)
+		}
+		return c.FMeasure()
+	}
+}

@@ -1,0 +1,71 @@
+package timeseries
+
+// Ring is a fixed-capacity ring buffer of float64 observations. The
+// monitoring data-processing module keeps one Ring per (KPI, database) pair;
+// when full, the oldest point is overwritten so the buffer always holds the
+// most recent Cap() observations.
+//
+// Ring is not safe for concurrent use; the monitor serializes access.
+type Ring struct {
+	buf   []float64
+	head  int // index of the oldest element
+	count int
+}
+
+// NewRing returns a ring buffer with the given capacity (must be > 0).
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		panic("timeseries: ring capacity must be positive")
+	}
+	return &Ring{buf: make([]float64, capacity)}
+}
+
+// Cap returns the fixed capacity.
+func (r *Ring) Cap() int { return len(r.buf) }
+
+// Len returns the number of stored observations (<= Cap).
+func (r *Ring) Len() int { return r.count }
+
+// Push appends v, evicting the oldest observation when full. It reports
+// whether an eviction occurred.
+func (r *Ring) Push(v float64) (evicted bool) {
+	if r.count < len(r.buf) {
+		r.buf[(r.head+r.count)%len(r.buf)] = v
+		r.count++
+		return false
+	}
+	r.buf[r.head] = v
+	r.head = (r.head + 1) % len(r.buf)
+	return true
+}
+
+// At returns the i-th oldest observation (0 = oldest).
+func (r *Ring) At(i int) float64 {
+	if i < 0 || i >= r.count {
+		panic("timeseries: ring index out of range")
+	}
+	return r.buf[(r.head+i)%len(r.buf)]
+}
+
+// Last returns the n most recent observations, oldest first. If fewer than
+// n observations are stored it returns what is available.
+func (r *Ring) Last(n int) []float64 {
+	if n > r.count {
+		n = r.count
+	}
+	out := make([]float64, n)
+	start := r.count - n
+	for i := 0; i < n; i++ {
+		out[i] = r.At(start + i)
+	}
+	return out
+}
+
+// Snapshot returns all stored observations, oldest first.
+func (r *Ring) Snapshot() []float64 { return r.Last(r.count) }
+
+// Reset discards all observations.
+func (r *Ring) Reset() {
+	r.head = 0
+	r.count = 0
+}

@@ -1,0 +1,91 @@
+package timeseries
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dbcatcher/internal/mathx"
+)
+
+func TestRingFillAndEvict(t *testing.T) {
+	r := NewRing(3)
+	if r.Cap() != 3 || r.Len() != 0 {
+		t.Fatal("fresh ring wrong")
+	}
+	if r.Push(1) || r.Push(2) || r.Push(3) {
+		t.Fatal("no eviction expected while filling")
+	}
+	if !r.Push(4) {
+		t.Fatal("push into full ring must evict")
+	}
+	if got := r.Snapshot(); !mathx.EqualApprox(got, []float64{2, 3, 4}, 0) {
+		t.Fatalf("Snapshot = %v", got)
+	}
+}
+
+func TestRingLast(t *testing.T) {
+	r := NewRing(5)
+	for i := 1; i <= 4; i++ {
+		r.Push(float64(i))
+	}
+	if got := r.Last(2); !mathx.EqualApprox(got, []float64{3, 4}, 0) {
+		t.Fatalf("Last(2) = %v", got)
+	}
+	if got := r.Last(10); len(got) != 4 {
+		t.Fatalf("Last beyond len should clamp, got %v", got)
+	}
+}
+
+func TestRingAtPanics(t *testing.T) {
+	r := NewRing(2)
+	r.Push(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	r.At(1)
+}
+
+func TestRingReset(t *testing.T) {
+	r := NewRing(2)
+	r.Push(1)
+	r.Push(2)
+	r.Reset()
+	if r.Len() != 0 || len(r.Snapshot()) != 0 {
+		t.Fatal("Reset did not clear")
+	}
+	r.Push(9)
+	if r.At(0) != 9 {
+		t.Fatal("ring unusable after Reset")
+	}
+}
+
+func TestNewRingPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRing(0)
+}
+
+// Property: after any push sequence the ring holds exactly the suffix of the
+// pushed values, in order.
+func TestRingHoldsSuffixProperty(t *testing.T) {
+	f := func(values []float64, capRaw uint8) bool {
+		capacity := int(capRaw%16) + 1
+		r := NewRing(capacity)
+		for _, v := range values {
+			r.Push(v)
+		}
+		want := values
+		if len(want) > capacity {
+			want = want[len(want)-capacity:]
+		}
+		return mathx.EqualApprox(r.Snapshot(), want, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

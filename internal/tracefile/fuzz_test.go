@@ -1,0 +1,26 @@
+package tracefile
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzRead feeds arbitrary text to the CSV trace parser: it must never
+// panic, and any successfully parsed trace must validate.
+func FuzzRead(f *testing.F) {
+	f.Add(header() + "\n0,0," + zeros() + "\n")
+	f.Add("tick,database\n")
+	f.Add("garbage")
+	f.Fuzz(func(t *testing.T, data string) {
+		if len(data) > 1<<16 {
+			return
+		}
+		u, err := Read(strings.NewReader(data), "fuzz")
+		if err != nil {
+			return
+		}
+		if err := u.Validate(); err != nil {
+			t.Fatalf("parsed trace fails validation: %v", err)
+		}
+	})
+}

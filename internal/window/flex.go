@@ -1,0 +1,90 @@
+package window
+
+import "fmt"
+
+// FlexConfig parameterizes the flexible time window (§III-C): the initial
+// size W (paper range 15-25 points), the expansion step Δ (generally equal
+// to W), and the maximum size W_M (paper range 45-75).
+type FlexConfig struct {
+	Initial int // W
+	Delta   int // Δ; 0 means Initial
+	Max     int // W_M
+	// ExhaustState is the verdict when the window reaches Max while still
+	// observable. A deviation that persists across the maximum window is
+	// no longer a temporal fluctuation, so the default is Abnormal.
+	ExhaustState State
+	// Disabled turns expansion off (the MM-KCD ablation of Table X): an
+	// Observable verdict resolves immediately to Healthy within the
+	// initial window.
+	Disabled bool
+}
+
+// DefaultFlexConfig returns the paper's mid-range setting: W=20, Δ=W,
+// W_M=60.
+func DefaultFlexConfig() FlexConfig {
+	return FlexConfig{Initial: 20, Max: 60, ExhaustState: Abnormal}
+}
+
+// Validate checks the configuration.
+func (c FlexConfig) Validate() error {
+	if c.Initial <= 1 {
+		return fmt.Errorf("window: initial size %d too small", c.Initial)
+	}
+	if c.Max < c.Initial {
+		return fmt.Errorf("window: max %d below initial %d", c.Max, c.Initial)
+	}
+	if c.Delta < 0 {
+		return fmt.Errorf("window: negative delta %d", c.Delta)
+	}
+	return nil
+}
+
+func (c FlexConfig) delta() int {
+	if c.Delta == 0 {
+		return c.Initial
+	}
+	return c.Delta
+}
+
+// Flex tracks one in-flight judgment round: the current window size and
+// whether another expansion is allowed.
+type Flex struct {
+	cfg  FlexConfig
+	size int
+}
+
+// NewFlex starts a judgment round at the initial window size.
+func NewFlex(cfg FlexConfig) (*Flex, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Flex{cfg: cfg, size: cfg.Initial}, nil
+}
+
+// Size returns the current window size in points.
+func (f *Flex) Size() int { return f.size }
+
+// Resolve folds a tentative state into the round's outcome:
+//
+//   - Healthy / Abnormal end the round (done=true, final=state).
+//   - Observable expands the window (done=false) unless expansion is
+//     disabled or the maximum is reached, in which case done=true with the
+//     configured terminal state.
+func (f *Flex) Resolve(s State) (final State, done bool) {
+	if s != Observable {
+		return s, true
+	}
+	if f.cfg.Disabled {
+		// MM variant: no expansion; within-tolerance deviations pass.
+		return Healthy, true
+	}
+	next := f.size + f.cfg.delta()
+	if next > f.cfg.Max {
+		return f.cfg.ExhaustState, true
+	}
+	f.size = next
+	return Observable, false
+}
+
+// Reset begins a new round at the initial size.
+func (f *Flex) Reset() { f.size = f.cfg.Initial }

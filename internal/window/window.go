@@ -1,0 +1,171 @@
+// Package window implements DBCatcher's flexible time window observation
+// mechanism (§III-C): the correlation-level mapping of Algorithm 1, the
+// database state determination of Fig. 7, and the window expansion policy
+// W -> W+Δ bounded by W_M.
+package window
+
+import "fmt"
+
+// Level is the correlation level of Algorithm 1.
+type Level int
+
+const (
+	// Level1 means extreme deviation (score below α-θ).
+	Level1 Level = iota + 1
+	// Level2 means slight deviation (score in [α-θ, α)).
+	Level2
+	// Level3 means correlated (score >= α).
+	Level3
+)
+
+// String names the level.
+func (l Level) String() string {
+	switch l {
+	case Level1:
+		return "level-1"
+	case Level2:
+		return "level-2"
+	case Level3:
+		return "level-3"
+	default:
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+}
+
+// State is a database state in the Fig. 7 flow chart.
+type State int
+
+const (
+	// Healthy: all KPIs correlate with peers.
+	Healthy State = iota
+	// Observable: slight deviations within tolerance; the window expands
+	// and judgment is retried. This is a transitional state only.
+	Observable
+	// Abnormal: at least one KPI deviates extremely, or slight deviations
+	// exceed the tolerance.
+	Abnormal
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case Healthy:
+		return "healthy"
+	case Observable:
+		return "observable"
+	case Abnormal:
+		return "abnormal"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Thresholds is the judgment parameter set learned by the adaptive
+// threshold policy: per-KPI correlation thresholds α_i, the tolerance
+// threshold θ, and the maximum tolerance deviation number.
+type Thresholds struct {
+	// Alpha holds one correlation threshold per KPI (the paper
+	// initializes each in [0.6, 0.8]).
+	Alpha []float64
+	// Theta is the tolerance threshold θ in [0.1, 0.3].
+	Theta float64
+	// MaxTolerance is the maximum tolerated number of level-2 KPIs
+	// (paper range [0, 3]).
+	MaxTolerance int
+}
+
+// DefaultThresholds returns starting thresholds for q KPIs within the
+// paper's initial ranges (α_i in [0.6, 0.8], θ in [0.1, 0.3], tolerance in
+// [0, 3]): α=0.65, θ=0.25, tolerance 2. The adaptive threshold policy
+// refines these from judgment records.
+func DefaultThresholds(q int) Thresholds {
+	alpha := make([]float64, q)
+	for i := range alpha {
+		alpha[i] = 0.65
+	}
+	return Thresholds{Alpha: alpha, Theta: 0.25, MaxTolerance: 2}
+}
+
+// Clone deep-copies the thresholds.
+func (t Thresholds) Clone() Thresholds {
+	out := t
+	out.Alpha = append([]float64(nil), t.Alpha...)
+	return out
+}
+
+// Validate checks structural sanity for q KPIs.
+func (t Thresholds) Validate(q int) error {
+	if len(t.Alpha) != q {
+		return fmt.Errorf("window: %d alpha thresholds for %d KPIs", len(t.Alpha), q)
+	}
+	if t.Theta < 0 {
+		return fmt.Errorf("window: negative theta %v", t.Theta)
+	}
+	if t.MaxTolerance < 0 {
+		return fmt.Errorf("window: negative tolerance %d", t.MaxTolerance)
+	}
+	return nil
+}
+
+// ScoreToLevel maps one correlation score to a level given α and θ.
+//
+// The paper's prose overlaps its three brackets; the consistent reading
+// (level-2 sits *between* extreme deviation and correlation) is:
+//
+//	score <  α-θ        -> level-1 (extreme deviation)
+//	α-θ <= score < α    -> level-2 (slight deviation)
+//	score >= α          -> level-3 (correlated)
+func ScoreToLevel(score, alpha, theta float64) Level {
+	switch {
+	case score >= alpha:
+		return Level3
+	case score >= alpha-theta:
+		return Level2
+	default:
+		return Level1
+	}
+}
+
+// KPILevel aggregates one database's correlation scores against all peers
+// (the KCDS list of Algorithm 1) into a single level for one KPI. The
+// aggregate uses the database's best peer score: when this database is the
+// one deviating, every peer score collapses, so even the maximum is low;
+// when some *other* database deviates, this database still correlates with
+// the remaining peers and the maximum stays high. This isolates the single
+// abnormal database (§II-C).
+func KPILevel(scores []float64, alpha, theta float64) Level {
+	if len(scores) == 0 {
+		return Level3
+	}
+	best := scores[0]
+	for _, s := range scores[1:] {
+		if s > best {
+			best = s
+		}
+	}
+	return ScoreToLevel(best, alpha, theta)
+}
+
+// DetermineState implements the Fig. 7 decision: any level-1 KPI makes the
+// database abnormal; level-2 KPIs within tolerance make it observable;
+// more level-2 KPIs than the tolerance make it abnormal; all level-3 is
+// healthy.
+func DetermineState(levels []Level, maxTolerance int) State {
+	level2 := 0
+	for _, l := range levels {
+		switch l {
+		case Level1:
+			return Abnormal
+		case Level2:
+			level2++
+		}
+	}
+	switch {
+	case level2 == 0:
+		return Healthy
+	case level2 <= maxTolerance:
+		return Observable
+	default:
+		return Abnormal
+	}
+}

@@ -1,0 +1,119 @@
+package workload
+
+import (
+	"math"
+
+	"dbcatcher/internal/mathx"
+)
+
+// SysbenchParams is one cell of the Table IV Sysbench parameter space.
+type SysbenchParams struct {
+	Tables  int     // 5-20
+	Threads int     // 4-64
+	Items   int     // rows per table (100000 in the paper)
+	Minutes float64 // segment duration, 0.5-1
+}
+
+// sysbench models the oltp_read_write benchmark: throughput scales with
+// threads (with diminishing returns past the core count), and the demand
+// is piecewise-stationary across parameter segments. The irregular variant
+// resamples segments uniformly from the Table IV "Sysbench I" grid; the
+// periodic variant cycles threads through 4-8-16-32 ("Sysbench II").
+type sysbench struct {
+	rng      *mathx.RNG
+	periodic bool
+
+	segTicks   int // remaining ticks in the current segment
+	cur        SysbenchParams
+	cycleIdx   int
+	perThread  float64 // requests/s contributed per thread at low load
+	saturation float64 // thread count where scaling flattens
+	writeFrac  float64
+	ramp       float64 // 0..1 ramp progress entering a new segment
+	prevRate   float64
+	noiseStd   float64
+}
+
+// sysbenchIICycle is the fixed thread schedule of Sysbench II in Table IV.
+var sysbenchIICycle = []int{4, 8, 16, 32}
+
+func newSysbench(rng *mathx.RNG, periodic bool) *sysbench {
+	g := &sysbench{
+		rng:        rng,
+		periodic:   periodic,
+		perThread:  rng.Range(60, 120),
+		saturation: rng.Range(24, 48),
+		writeFrac:  0.25, // oltp_read_write is ~25% writes
+		noiseStd:   0.04,
+	}
+	g.nextSegment()
+	g.prevRate = g.rate()
+	return g
+}
+
+func (g *sysbench) Name() string {
+	if g.periodic {
+		return "sysbench-periodic"
+	}
+	return "sysbench-irregular"
+}
+
+// nextSegment draws the next parameter cell.
+func (g *sysbench) nextSegment() {
+	if g.periodic {
+		// Sysbench II: tables=10, threads cycle 4-8-16-32, time=0.5 min.
+		g.cur = SysbenchParams{
+			Tables:  10,
+			Threads: sysbenchIICycle[g.cycleIdx%len(sysbenchIICycle)],
+			Items:   100000,
+			Minutes: 0.5,
+		}
+		g.cycleIdx++
+	} else {
+		// Sysbench I: tables 5-20, threads 4-64, time 0.5-1 min.
+		g.cur = SysbenchParams{
+			Tables:  5 + g.rng.Intn(16),
+			Threads: 4 + g.rng.Intn(61),
+			Items:   100000,
+			Minutes: g.rng.Range(0.5, 1),
+		}
+	}
+	g.segTicks = int(g.cur.Minutes * 60 / 5)
+	if g.segTicks < 1 {
+		g.segTicks = 1
+	}
+	g.ramp = 0
+}
+
+// rate returns the stationary throughput for the current parameters:
+// thread scaling with saturation, slightly reduced by table count (more
+// tables -> more cache misses).
+func (g *sysbench) rate() float64 {
+	th := float64(g.cur.Threads)
+	scaling := g.saturation * (1 - math.Exp(-th/g.saturation))
+	tableFactor := 1 - 0.005*float64(g.cur.Tables)
+	return g.perThread * scaling * tableFactor
+}
+
+func (g *sysbench) Next() Demand {
+	if g.segTicks <= 0 {
+		g.prevRate = g.rate()
+		g.nextSegment()
+	}
+	g.segTicks--
+	target := g.rate()
+	// Short linear ramp between segments so the series has trends rather
+	// than pure steps.
+	if g.ramp < 1 {
+		g.ramp += 0.34
+		if g.ramp > 1 {
+			g.ramp = 1
+		}
+	}
+	rate := g.prevRate + (target-g.prevRate)*g.ramp
+	rate *= 1 + g.rng.NormMeanStd(0, g.noiseStd)
+	if rate < 0 {
+		rate = 0
+	}
+	return Demand{Read: rate * (1 - g.writeFrac), Write: rate * g.writeFrac}
+}

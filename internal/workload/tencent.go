@@ -1,0 +1,91 @@
+package workload
+
+import (
+	"math"
+
+	"dbcatcher/internal/mathx"
+)
+
+// tencent is the production-trace-like demand process. It sums four
+// components:
+//
+//	base      — a constant baseline level,
+//	diurnal   — sinusoidal periodicity (dominant in the periodic variant),
+//	bursts    — Poisson-arriving flash crowds with exponential decay
+//	            (dominant in the irregular variant; see paper Fig. 1),
+//	drift     — a slowly mean-reverting AR(1) walk.
+type tencent struct {
+	rng      *mathx.RNG
+	periodic bool
+
+	t          int
+	base       float64
+	amp        float64 // diurnal amplitude
+	period     float64 // diurnal period in ticks
+	phase      float64
+	burstRate  float64 // Poisson arrival probability per tick
+	burstLevel float64 // current burst contribution
+	burstDecay float64
+	drift      float64
+	driftPhi   float64
+	driftStd   float64
+	writeFrac  float64 // fraction of demand that is writes
+	noiseStd   float64
+}
+
+func newTencent(rng *mathx.RNG, periodic bool) *tencent {
+	g := &tencent{
+		rng:        rng,
+		periodic:   periodic,
+		base:       rng.Range(800, 2000),
+		period:     rng.Range(500, 900), // ~40-75 min at 5 s ticks
+		phase:      rng.Range(0, 2*math.Pi),
+		burstDecay: rng.Range(0.7, 0.92),
+		driftPhi:   0.995,
+		writeFrac:  rng.Range(0.15, 0.35),
+	}
+	if periodic {
+		g.amp = g.base * rng.Range(0.5, 0.8)
+		g.burstRate = 0.002
+		g.driftStd = g.base * 0.002
+		g.noiseStd = g.base * 0.05
+	} else {
+		g.amp = g.base * rng.Range(0.15, 0.35)
+		g.burstRate = 0.04
+		g.driftStd = g.base * 0.025
+		g.noiseStd = g.base * 0.06
+	}
+	return g
+}
+
+func (g *tencent) Name() string {
+	if g.periodic {
+		return "tencent-periodic"
+	}
+	return "tencent-irregular"
+}
+
+func (g *tencent) Next() Demand {
+	// Diurnal component.
+	diurnal := g.amp * (1 + math.Sin(2*math.Pi*float64(g.t)/g.period+g.phase)) / 2
+
+	// Flash-crowd bursts: a new burst arrives with probability burstRate
+	// and raises demand by 0.5x-3x of base, decaying geometrically.
+	if g.rng.Bool(g.burstRate) {
+		g.burstLevel += g.base * g.rng.Range(0.5, 3)
+	}
+	g.burstLevel *= g.burstDecay
+
+	// Mean-reverting drift.
+	g.drift = g.driftPhi*g.drift + g.rng.NormMeanStd(0, g.driftStd)
+
+	total := g.base + diurnal + g.burstLevel + g.drift + g.rng.NormMeanStd(0, g.noiseStd)
+	if total < 0 {
+		total = 0
+	}
+	g.t++
+	return Demand{
+		Read:  total * (1 - g.writeFrac),
+		Write: total * g.writeFrac,
+	}
+}

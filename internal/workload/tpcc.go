@@ -1,0 +1,113 @@
+package workload
+
+import (
+	"math"
+
+	"dbcatcher/internal/mathx"
+)
+
+// TPCCParams is one cell of the Table IV TPC-C parameter space.
+type TPCCParams struct {
+	Warehouses int     // 5-20
+	Threads    int     // 4-24
+	WarmupMin  float64 // 0.5-1
+	Minutes    float64 // 0.5-1
+}
+
+// tpcc models a TPC-C-style run: a warmup ramp into a plateau per segment,
+// ~2/3 of traffic being writes (new-order + payment + delivery dominate
+// the mix), and throughput scaling with threads bounded by warehouse
+// contention. The irregular variant sweeps the "TPCC I" grid; the periodic
+// variant cycles threads 4-8-16-24 ("TPCC II").
+type tpcc struct {
+	rng      *mathx.RNG
+	periodic bool
+
+	cur        TPCCParams
+	cycleIdx   int
+	warmupLeft int
+	segLeft    int
+	perThread  float64
+	writeFrac  float64
+	noiseStd   float64
+}
+
+// tpccIICycle is the fixed thread schedule of TPCC II in Table IV.
+var tpccIICycle = []int{4, 8, 16, 24}
+
+func newTPCC(rng *mathx.RNG, periodic bool) *tpcc {
+	g := &tpcc{
+		rng:       rng,
+		periodic:  periodic,
+		perThread: rng.Range(30, 70),
+		// New-order (45%) and payment (43%) are write-heavy; stock-level
+		// and order-status are reads. Net write fraction ~0.65.
+		writeFrac: 0.65,
+		noiseStd:  0.045,
+	}
+	g.nextSegment()
+	return g
+}
+
+func (g *tpcc) Name() string {
+	if g.periodic {
+		return "tpcc-periodic"
+	}
+	return "tpcc-irregular"
+}
+
+func (g *tpcc) nextSegment() {
+	if g.periodic {
+		// TPCC II: warehouses=10, threads cycle, warmup 0.5, time 0.5.
+		g.cur = TPCCParams{
+			Warehouses: 10,
+			Threads:    tpccIICycle[g.cycleIdx%len(tpccIICycle)],
+			WarmupMin:  0.5,
+			Minutes:    0.5,
+		}
+		g.cycleIdx++
+	} else {
+		// TPCC I: warehouses 5-20, threads 4-24, warmup 0.5-1, time 0.5-1.
+		g.cur = TPCCParams{
+			Warehouses: 5 + g.rng.Intn(16),
+			Threads:    4 + g.rng.Intn(21),
+			WarmupMin:  g.rng.Range(0.5, 1),
+			Minutes:    g.rng.Range(0.5, 1),
+		}
+	}
+	g.warmupLeft = int(g.cur.WarmupMin * 60 / 5)
+	g.segLeft = int(g.cur.Minutes * 60 / 5)
+	if g.segLeft < 1 {
+		g.segLeft = 1
+	}
+}
+
+// plateau is the steady-state rate for the current parameters. Threads
+// beyond ~2x warehouses contend on warehouse rows and stop scaling.
+func (g *tpcc) plateau() float64 {
+	th := float64(g.cur.Threads)
+	limit := 2 * float64(g.cur.Warehouses)
+	eff := limit * (1 - math.Exp(-th/limit))
+	return g.perThread * eff
+}
+
+func (g *tpcc) Next() Demand {
+	if g.segLeft <= 0 {
+		g.nextSegment()
+	}
+	rate := g.plateau()
+	if g.warmupLeft > 0 {
+		// Linear warmup ramp toward the plateau.
+		total := g.cur.WarmupMin * 60 / 5
+		progress := 1 - float64(g.warmupLeft)/total
+		rate *= 0.3 + 0.7*progress
+		g.warmupLeft--
+	} else {
+		g.segLeft--
+	}
+	rate *= 1 + g.rng.NormMeanStd(0, g.noiseStd)
+	if rate < 0 {
+		rate = 0
+	}
+	return Demand{Read: rate * (1 - g.writeFrac), Write: rate * g.writeFrac}
+}
