@@ -1,0 +1,30 @@
+# Developer entry points. `make check` is the tier-1 gate: build, vet,
+# and the full test suite must pass before merging.
+
+GO ?= go
+
+.PHONY: build test race vet bench bench-baseline check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The parallel engine, fleet runner, and searcher fan-out are exercised
+# under the race detector here; slow but mandatory for concurrency changes.
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' .
+
+# Regenerate the committed benchmark baseline. Review the diff before
+# committing: ns/op moves with the host, allocs/op should not.
+bench-baseline:
+	$(GO) run ./cmd/bench -o BENCH_core.json -benchtime 1s
+
+check: build vet test

@@ -88,11 +88,50 @@ type Config struct {
 	Thresholds Thresholds
 	// Flex configures the flexible window; zero value uses W=20, W_M=60.
 	Flex FlexConfig
-	// KCD overrides the correlation options; zero value uses the
-	// detection defaults (n/2 scan capped at ±4 points).
+	// KCD overrides the correlation options; the zero value uses the
+	// detection defaults (n/2 scan capped at ±4 points) unless
+	// UseCustomKCD is set.
 	KCD correlate.Options
+	// UseCustomKCD forces the KCD field to be honoured even when it is
+	// the zero configuration (which would otherwise read as "unset").
+	UseCustomKCD bool
+	// Workers bounds the per-window correlation fan-out: 0 uses
+	// GOMAXPROCS, 1 forces the serial path. Verdicts are identical at any
+	// setting; set 1 when the caller already runs many units in parallel.
+	Workers int
 	// Active marks participating databases; nil means all.
 	Active []bool
+}
+
+// thresholdsFor resolves the configured thresholds for a q-KPI unit,
+// falling back to the defaults when none were set.
+func thresholdsFor(t Thresholds, q int) Thresholds {
+	if t.Alpha == nil {
+		return window.DefaultThresholds(q)
+	}
+	return t
+}
+
+// kcdFor maps the facade's KCD override to the detection layer's pointer
+// sentinel: nil selects the detection defaults.
+func kcdFor(cfg Config) *correlate.Options {
+	if cfg.UseCustomKCD || !cfg.KCD.IsZero() {
+		o := cfg.KCD
+		return &o
+	}
+	return nil
+}
+
+// detectConfig lowers the facade configuration to the detection layer's
+// for a q-KPI unit.
+func detectConfig(cfg Config, q int) detect.Config {
+	return detect.Config{
+		Thresholds: thresholdsFor(cfg.Thresholds, q),
+		Flex:       cfg.Flex,
+		KCDOptions: kcdFor(cfg),
+		Workers:    cfg.Workers,
+		Active:     cfg.Active,
+	}
 }
 
 // Detector is the online streaming detector: push one KPI sample per
@@ -107,20 +146,7 @@ func NewDetector(cfg Config) (*Detector, error) {
 	if cfg.Databases == 0 {
 		cfg.Databases = 5
 	}
-	th := cfg.Thresholds
-	if th.Alpha == nil {
-		th = window.DefaultThresholds(KPICount)
-	}
-	var measure correlate.Measure
-	if cfg.KCD != (correlate.Options{}) {
-		measure = correlate.KCDMeasure(cfg.KCD)
-	}
-	online, err := monitor.NewOnline(detect.Config{
-		Thresholds: th,
-		Flex:       cfg.Flex,
-		Measure:    measure,
-		Active:     cfg.Active,
-	}, KPICount, cfg.Databases)
+	online, err := monitor.NewOnline(detectConfig(cfg, KPICount), KPICount, cfg.Databases)
 	if err != nil {
 		return nil, err
 	}
@@ -143,20 +169,7 @@ func (d *Detector) SetThresholds(t Thresholds) error { return d.online.SetThresh
 // DetectSeries runs offline batch detection over a complete unit series
 // and returns the verdict sequence.
 func DetectSeries(u *UnitSeries, cfg Config) ([]Verdict, error) {
-	th := cfg.Thresholds
-	if th.Alpha == nil {
-		th = window.DefaultThresholds(u.KPIs)
-	}
-	var measure correlate.Measure
-	if cfg.KCD != (correlate.Options{}) {
-		measure = correlate.KCDMeasure(cfg.KCD)
-	}
-	verdicts, _, err := detect.Run(u, detect.Config{
-		Thresholds: th,
-		Flex:       cfg.Flex,
-		Measure:    measure,
-		Active:     cfg.Active,
-	})
+	verdicts, _, err := detect.Run(u, detectConfig(cfg, u.KPIs))
 	return verdicts, err
 }
 
@@ -238,18 +251,6 @@ type Explanation = detect.Explanation
 // per-database indicator attribution: which KPIs deviated and how far.
 // This is the root-cause-analysis direction of the paper's future work.
 func ExplainWindow(u *UnitSeries, cfg Config, start, size int) ([]*Explanation, error) {
-	th := cfg.Thresholds
-	if th.Alpha == nil {
-		th = window.DefaultThresholds(u.KPIs)
-	}
-	var measure correlate.Measure
-	if cfg.KCD != (correlate.Options{}) {
-		measure = correlate.KCDMeasure(cfg.KCD)
-	}
-	return detect.Explain(detect.NewProvider(u, measure, cfg.Active), detect.Config{
-		Thresholds: th,
-		Flex:       cfg.Flex,
-		Measure:    measure,
-		Active:     cfg.Active,
-	}, start, size)
+	dcfg := detectConfig(cfg, u.KPIs)
+	return detect.Explain(detect.NewEngineProvider(u, dcfg.Engine(), cfg.Active), dcfg, start, size)
 }

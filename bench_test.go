@@ -95,31 +95,71 @@ func benchUnit(b *testing.B, ticks int) *cluster.Unit {
 	return u
 }
 
-// BenchmarkBuildMatrices measures one window's Q correlation matrices
-// (the dominant §IV-D4 component).
+// BenchmarkBuildMatrices measures one window's Q correlation matrices (the
+// dominant §IV-D4 component) across the engine variants: the seed's
+// allocating measure-closure path, the allocation-lean scratch engine, and
+// the parallel scratch engine. cmd/bench records the same three variants
+// into BENCH_core.json.
 func BenchmarkBuildMatrices(b *testing.B) {
 	u := benchUnit(b, 200)
-	measure := correlate.KCDMeasure(correlate.DetectionOptions())
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := correlate.BuildMatrices(u.Series, 0, 20, nil, measure); err != nil {
-			b.Fatal(err)
+	for _, w := range []int{20, 60} {
+		w := w
+		run := func(name string, e *correlate.Engine) {
+			b.Run(fmt.Sprintf("w=%d/%s", w, name), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := e.BuildMatrices(u.Series, 0, w, nil); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
 		}
+		run("serial-alloc", correlate.NewMeasureEngine(correlate.KCDMeasure(correlate.DetectionOptions()), 1))
+		run("serial-scratch", correlate.NewEngine(correlate.DetectionOptions(), 1))
+		run("parallel-scratch", correlate.NewEngine(correlate.DetectionOptions(), 0))
 	}
 }
 
+// BenchmarkKCDScratch isolates the pair-level win: the allocating KCD call
+// vs the same computation through a warm reusable scratch.
+func BenchmarkKCDScratch(b *testing.B) {
+	x, y := randomPair(60, 3)
+	opts := correlate.DetectionOptions()
+	b.Run("alloc", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			correlate.KCDWithDelay(x, y, opts)
+		}
+	})
+	b.Run("scratch", func(b *testing.B) {
+		b.ReportAllocs()
+		s := correlate.NewScratch()
+		for i := 0; i < b.N; i++ {
+			correlate.KCDWithDelayScratch(x, y, opts, s)
+		}
+	})
+}
+
 // BenchmarkDetectRun measures a full offline detection pass over one unit
-// (points/sec throughput drives the §IV-D4 projection).
+// (points/sec throughput drives the §IV-D4 projection), serial and with
+// the per-window fan-out.
 func BenchmarkDetectRun(b *testing.B) {
 	u := benchUnit(b, 1200)
-	cfg := detect.Config{Thresholds: window.DefaultThresholds(kpi.Count)}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, _, err := detect.Run(u.Series, cfg); err != nil {
-			b.Fatal(err)
-		}
+	for _, c := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		cfg := detect.Config{Thresholds: window.DefaultThresholds(kpi.Count), Workers: c.workers}
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := detect.Run(u.Series, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(1200*5*kpi.Count), "points/op")
+		})
 	}
-	b.ReportMetric(float64(1200*5*kpi.Count), "points/op")
 }
 
 // BenchmarkOnlinePush measures the streaming path: one 5-second sample

@@ -1,0 +1,207 @@
+// Command bench measures the correlation engine's core hot paths with the
+// standard library benchmark driver and writes the results as JSON, so the
+// repository can track a committed baseline (BENCH_core.json) across
+// changes.
+//
+// Usage:
+//
+//	bench                      # print JSON to stdout
+//	bench -o BENCH_core.json   # rewrite the tracked baseline
+//	bench -benchtime 2s        # steadier numbers
+//
+// The emitted document records, per benchmark, ns/op, B/op, and allocs/op,
+// plus derived ratios: the parallel-vs-serial matrix-build speedup and the
+// allocation reduction of the scratch engine against the seed's allocating
+// measure-closure path. Speedups are bounded by gomaxprocs — the file
+// records the value the run actually had.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"dbcatcher/internal/cluster"
+	"dbcatcher/internal/correlate"
+	"dbcatcher/internal/detect"
+	"dbcatcher/internal/kpi"
+	"dbcatcher/internal/mathx"
+	"dbcatcher/internal/window"
+	"dbcatcher/internal/workload"
+)
+
+// Schema versions the JSON layout for downstream tooling.
+const Schema = "dbcatcher-bench/1"
+
+// Entry is one benchmark's measurement.
+type Entry struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+// Report is the full document written to BENCH_core.json.
+type Report struct {
+	Schema      string  `json:"schema"`
+	GoVersion   string  `json:"go_version"`
+	GOOS        string  `json:"goos"`
+	GOARCH      string  `json:"goarch"`
+	GOMAXPROCS  int     `json:"gomaxprocs"`
+	GeneratedAt string  `json:"generated_at"`
+	Window      int     `json:"window"`
+	KPIs        int     `json:"kpis"`
+	Databases   int     `json:"databases"`
+	Benches     []Entry `json:"benches"`
+	// BuildSpeedupParallel = serial-scratch ns/op over parallel-scratch
+	// ns/op for the matrix build; approaches the core count on
+	// multi-core hosts and ~1.0 when gomaxprocs is 1.
+	BuildSpeedupParallel float64 `json:"build_speedup_parallel"`
+	// BuildAllocReduction = allocs/op of the seed-equivalent allocating
+	// build over the scratch engine's.
+	BuildAllocReduction float64 `json:"build_alloc_reduction"`
+	// KCDAllocsScratch is the scratch path's allocs/op — the zero-alloc
+	// contract, asserted by TestKCDScratchZeroAlloc.
+	KCDAllocsScratch int64 `json:"kcd_allocs_scratch"`
+}
+
+func measure(name string, fn func(b *testing.B)) Entry {
+	r := testing.Benchmark(fn)
+	return Entry{
+		Name:        name,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		Iterations:  r.N,
+	}
+}
+
+func main() {
+	var (
+		out       = flag.String("o", "", "write JSON to this file instead of stdout")
+		benchtime = flag.Duration("benchtime", time.Second, "per-benchmark measuring time")
+		win       = flag.Int("window", 60, "correlation window length in ticks")
+	)
+	flag.Parse()
+	flag.Set("test.benchtime", benchtime.String())
+
+	const dbs = 5
+	u, err := cluster.Simulate(cluster.Config{
+		Name: "bench", Databases: dbs, Ticks: 600, Seed: 9,
+		Profile: workload.TencentIrregular,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	opts := correlate.DetectionOptions()
+	x, y := randomPair(*win, 3)
+
+	rep := Report{
+		Schema:      Schema,
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Window:      *win,
+		KPIs:        kpi.Count,
+		Databases:   dbs,
+	}
+
+	add := func(e Entry) {
+		rep.Benches = append(rep.Benches, e)
+		fmt.Fprintf(os.Stderr, "%-28s %12.0f ns/op %10d B/op %8d allocs/op\n",
+			e.Name, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp)
+	}
+
+	add(measure("kcd/alloc", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			correlate.KCDWithDelay(x, y, opts)
+		}
+	}))
+	scratch := correlate.NewScratch()
+	kcdScratch := measure("kcd/scratch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			correlate.KCDWithDelayScratch(x, y, opts, scratch)
+		}
+	})
+	add(kcdScratch)
+
+	buildWith := func(e *correlate.Engine) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.BuildMatrices(u.Series, 0, *win, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	// serial-alloc routes every pair through the measure closure — the
+	// seed's allocation behaviour before the scratch engine existed.
+	serialAlloc := measure("build_matrices/serial-alloc",
+		buildWith(correlate.NewMeasureEngine(correlate.KCDMeasure(opts), 1)))
+	add(serialAlloc)
+	serialScratch := measure("build_matrices/serial-scratch",
+		buildWith(correlate.NewEngine(opts, 1)))
+	add(serialScratch)
+	parallelScratch := measure("build_matrices/parallel-scratch",
+		buildWith(correlate.NewEngine(opts, 0)))
+	add(parallelScratch)
+
+	for _, c := range []struct {
+		name    string
+		workers int
+	}{{"detect_run/serial", 1}, {"detect_run/parallel", 0}} {
+		cfg := detect.Config{Thresholds: window.DefaultThresholds(kpi.Count), Workers: c.workers}
+		add(measure(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := detect.Run(u.Series, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+	}
+
+	rep.BuildSpeedupParallel = serialScratch.NsPerOp / parallelScratch.NsPerOp
+	rep.BuildAllocReduction = float64(serialAlloc.AllocsPerOp) / float64(serialScratch.AllocsPerOp)
+	rep.KCDAllocsScratch = kcdScratch.AllocsPerOp
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (speedup %.2fx, alloc reduction %.1fx)\n",
+		*out, rep.BuildSpeedupParallel, rep.BuildAllocReduction)
+}
+
+// randomPair mirrors the repository benchmark's correlated pair generator.
+func randomPair(n int, seed uint64) ([]float64, []float64) {
+	rng := mathx.NewRNG(seed)
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = rng.Norm()
+		y[i] = 0.7*x[i] + 0.3*rng.Norm()
+	}
+	return x, y
+}

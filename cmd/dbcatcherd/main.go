@@ -44,6 +44,7 @@ func main() {
 		horizon   = flag.Int("horizon", 17280, "ticks to pre-simulate (default 24 h)")
 		foTick    = flag.Int("failover-tick", 0, "tick at which a failover promotes a replica (0 = none)")
 		foTarget  = flag.Int("failover-target", 1, "replica promoted at -failover-tick")
+		conc      = flag.Int("concurrency", 0, "correlation worker pool per window (0 = GOMAXPROCS, 1 = serial; verdicts identical)")
 	)
 	flag.Parse()
 
@@ -78,6 +79,7 @@ func main() {
 
 	online, err := monitor.NewOnline(detect.Config{
 		Thresholds: window.DefaultThresholds(kpi.Count),
+		Workers:    *conc,
 	}, kpi.Count, *dbs)
 	if err != nil {
 		log.Fatalf("dbcatcherd: %v", err)

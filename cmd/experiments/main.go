@@ -24,6 +24,7 @@ func main() {
 		runs   = flag.Int("runs", 3, "repeated runs for mean/min/max (paper: 20)")
 		scale  = flag.Float64("scale", 0, "dataset scale toward the paper's Table III (1 = full)")
 		seed   = flag.Uint64("seed", 1, "random seed")
+		conc   = flag.Int("concurrency", 0, "per-unit worker pool (0 = GOMAXPROCS, 1 = serial; results identical)")
 		list   = flag.Bool("list", false, "list experiments and exit")
 		quiet  = flag.Bool("q", false, "suppress progress output")
 		format = flag.String("format", "table", "output format: table or csv")
@@ -33,7 +34,7 @@ func main() {
 		fmt.Println(strings.Join(experiments.Names(), "\n"))
 		return
 	}
-	cfg := experiments.Config{Runs: *runs, Scale: *scale, Seed: *seed}
+	cfg := experiments.Config{Runs: *runs, Scale: *scale, Seed: *seed, Concurrency: *conc}
 	if !*quiet {
 		cfg.Log = os.Stderr
 	}

@@ -6,6 +6,7 @@ import (
 	"dbcatcher/internal/correlate"
 	"dbcatcher/internal/dataset"
 	"dbcatcher/internal/detect"
+	"dbcatcher/internal/fleet"
 	"dbcatcher/internal/metrics"
 	"dbcatcher/internal/thresholds"
 	"dbcatcher/internal/window"
@@ -25,6 +26,11 @@ type DBCatcherMethod struct {
 	Measure correlate.Measure
 	// Searcher overrides the threshold learner; nil means the GA.
 	Searcher thresholds.Searcher
+	// Concurrency fans the per-unit work out during training (fitness
+	// evaluation across labelled units) and evaluation (detection across
+	// test units): <= 0 uses GOMAXPROCS, 1 forces serial. Results are
+	// identical at any setting.
+	Concurrency int
 
 	learned window.Thresholds
 	ready   bool
@@ -59,9 +65,11 @@ func (m *DBCatcherMethod) Train(train []*dataset.UnitData, seed uint64) (TrainIn
 	}
 	searcher := m.Searcher
 	if searcher == nil {
+		// The default GA evaluates genomes serially; the parallel axis is
+		// the per-unit fan-out inside each fitness evaluation.
 		searcher = thresholds.GA{Seed: seed}
 	}
-	fitness := thresholds.DetectorFitness(samples, m.flex())
+	fitness := thresholds.ParallelDetectorFitness(samples, m.flex(), m.Concurrency)
 	res := searcher.Search(q, fitness)
 	if err := res.Best.Validate(q); err != nil {
 		return TrainInfo{}, err
@@ -80,27 +88,47 @@ func (m *DBCatcherMethod) Evaluate(test []*dataset.UnitData) (Result, error) {
 	if !m.ready {
 		return Result{}, errNotTrained
 	}
+	cfg := detect.Config{
+		Thresholds: m.learned,
+		Flex:       m.flex(),
+		Measure:    m.Measure,
+	}
+	if fleet.Resolve(m.Concurrency) > 1 {
+		// The fan-out across units is the parallel axis; keep each unit's
+		// correlation build serial rather than nesting pools.
+		cfg.Workers = 1
+	}
+	type unitEval struct {
+		c       metrics.Confusion
+		sizeSum float64
+		n       int
+	}
+	evals, err := fleet.Map(len(test), m.Concurrency, func(i int) (unitEval, error) {
+		verdicts, _, err := detect.Run(test[i].Unit.Series, cfg)
+		if err != nil {
+			return unitEval{}, err
+		}
+		part, err := detect.Evaluate(verdicts, test[i].Labels)
+		if err != nil {
+			return unitEval{}, err
+		}
+		e := unitEval{c: part}
+		for _, v := range verdicts {
+			e.sizeSum += float64(v.Size)
+			e.n++
+		}
+		return e, nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
 	var c metrics.Confusion
 	var sizeSum float64
 	var verdictCount int
-	for _, u := range test {
-		verdicts, _, err := detect.Run(u.Unit.Series, detect.Config{
-			Thresholds: m.learned,
-			Flex:       m.flex(),
-			Measure:    m.Measure,
-		})
-		if err != nil {
-			return Result{}, err
-		}
-		part, err := detect.Evaluate(verdicts, u.Labels)
-		if err != nil {
-			return Result{}, err
-		}
-		c.Merge(part)
-		for _, v := range verdicts {
-			sizeSum += float64(v.Size)
-			verdictCount++
-		}
+	for _, e := range evals {
+		c.Merge(e.c)
+		sizeSum += e.sizeSum
+		verdictCount += e.n
 	}
 	avg := 0.0
 	if verdictCount > 0 {

@@ -26,14 +26,24 @@ func FuzzKCD(f *testing.F) {
 			x[i] = float64(a[i]) - 100
 			y[i] = float64(b[i]) * 3
 		}
+		// One scratch reused across every option set and both argument
+		// orders: stale buffer contents must never leak into a result.
+		scratch := NewScratch()
 		for _, opts := range []Options{DefaultOptions(), DetectionOptions(),
 			{MaxDelayFraction: 0.5, Normalize: true, UseFFT: true}} {
-			s := KCD(x, y, opts)
+			s, d := KCDWithDelay(x, y, opts)
 			if math.IsNaN(s) || s < -1-1e-9 || s > 1+1e-9 {
 				t.Fatalf("KCD out of range: %v (opts %+v)", s, opts)
 			}
 			if r := KCD(y, x, opts); math.Abs(r-s) > 1e-9 {
 				t.Fatalf("asymmetric: %v vs %v", s, r)
+			}
+			// The scratch-buffer path must be bit-identical to the
+			// allocating path, score and delay both.
+			ss, sd := KCDWithDelayScratch(x, y, opts, scratch)
+			if ss != s || sd != d {
+				t.Fatalf("scratch path diverged: (%v, %v) vs (%v, %v) (opts %+v)",
+					ss, sd, s, d, opts)
 			}
 		}
 	})

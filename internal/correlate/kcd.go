@@ -45,6 +45,12 @@ func DetectionOptions() Options {
 	return Options{MaxDelayFraction: 0.5, MaxDelayPoints: 4, Normalize: true}
 }
 
+// IsZero reports whether o is the zero configuration. Facade callers use
+// it as the "unset" sentinel when deciding whether an Options field was an
+// explicit override; pair it with an explicit use-flag when the zero
+// configuration itself must be selectable.
+func (o Options) IsZero() bool { return o == Options{} }
+
 func (o Options) maxDelay(n int) int {
 	f := o.MaxDelayFraction
 	if f <= 0 {
@@ -79,6 +85,60 @@ func KCD(x, y []float64, opts Options) float64 {
 // KCDWithDelay is KCD but also reports the delay s at which the maximum
 // correlation was found (positive s means x lags y).
 func KCDWithDelay(x, y []float64, opts Options) (score float64, delay int) {
+	return KCDWithDelayScratch(x, y, opts, nil)
+}
+
+// Scratch holds the reusable working buffers of a KCD computation
+// (normalized/centered copies and, on the FFT path, prefix sums of
+// squares), so that steady-state correlation passes allocate nothing. A
+// Scratch must not be shared between goroutines; the matrix Engine keeps
+// one per worker.
+type Scratch struct {
+	xc, yc []float64
+	px, py []float64
+	// windows stages per-database window slices during a matrix build.
+	windows [][]float64
+}
+
+// NewScratch returns an empty scratch; buffers grow on first use and are
+// reused afterwards.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// grow sizes the centered-window buffers for length-n windows.
+func (s *Scratch) grow(n int) {
+	if cap(s.xc) < n {
+		s.xc = make([]float64, n)
+		s.yc = make([]float64, n)
+	}
+	s.xc = s.xc[:n]
+	s.yc = s.yc[:n]
+}
+
+// growPrefix sizes the prefix-sum buffers used by the FFT path.
+func (s *Scratch) growPrefix(n int) {
+	if cap(s.px) < n+1 {
+		s.px = make([]float64, n+1)
+		s.py = make([]float64, n+1)
+	}
+	s.px = s.px[:n+1]
+	s.py = s.py[:n+1]
+}
+
+// growWindows sizes the window staging area for a d-database unit.
+func (s *Scratch) growWindows(d int) [][]float64 {
+	if cap(s.windows) < d {
+		s.windows = make([][]float64, d)
+	}
+	s.windows = s.windows[:d]
+	return s.windows
+}
+
+// KCDWithDelayScratch is KCDWithDelay computing through caller-owned
+// scratch buffers: with a reused Scratch the direct path performs no
+// allocations. A nil scratch allocates a transient one, making it
+// equivalent to KCDWithDelay. Scores and delays are bit-identical to the
+// allocating path.
+func KCDWithDelayScratch(x, y []float64, opts Options, s *Scratch) (score float64, delay int) {
 	n := len(x)
 	if len(y) != n {
 		panic(mathx.ErrLengthMismatch)
@@ -86,20 +146,25 @@ func KCDWithDelay(x, y []float64, opts Options) (score float64, delay int) {
 	if n == 0 {
 		return 0, 0
 	}
+	if s == nil {
+		s = NewScratch()
+	}
+	s.grow(n)
 	if opts.Normalize {
-		x = mathx.Normalize(x)
-		y = mathx.Normalize(y)
+		mathx.NormalizeInto(s.xc, x)
+		mathx.NormalizeInto(s.yc, y)
+	} else {
+		copy(s.xc, x)
+		copy(s.yc, y)
 	}
 	// Center by the full-window means (ave(x), ave(y) in Eq. 3).
-	mx, my := mathx.Mean(x), mathx.Mean(y)
-	xc := make([]float64, n)
-	yc := make([]float64, n)
+	mx, my := mathx.Mean(s.xc), mathx.Mean(s.yc)
 	for i := 0; i < n; i++ {
-		xc[i] = x[i] - mx
-		yc[i] = y[i] - my
+		s.xc[i] -= mx
+		s.yc[i] -= my
 	}
-	constX := allZero(xc)
-	constY := allZero(yc)
+	constX := allZero(s.xc)
+	constY := allZero(s.yc)
 	if constX && constY {
 		return 1, 0
 	}
@@ -108,9 +173,9 @@ func KCDWithDelay(x, y []float64, opts Options) (score float64, delay int) {
 	}
 	m := opts.maxDelay(n)
 	if opts.UseFFT {
-		return kcdFFT(xc, yc, m)
+		return kcdFFT(s.xc, s.yc, m, s)
 	}
-	return kcdDirect(xc, yc, m)
+	return kcdDirect(s.xc, s.yc, m)
 }
 
 func allZero(v []float64) bool {
@@ -127,15 +192,18 @@ func allZero(v []float64) bool {
 // (e.g. one signal period apart) the smallest |s| is reported.
 const tieEps = 1e-12
 
-// delayScanOrder yields 0, 1, -1, 2, -2, ..., m, -m so that combined with
-// tieEps the smallest-magnitude delay wins ties.
-func delayScanOrder(m int) []int {
-	out := make([]int, 0, 2*m+1)
-	out = append(out, 0)
-	for s := 1; s <= m; s++ {
-		out = append(out, s, -s)
+// delayAt maps a scan index to the delay sequence 0, 1, -1, 2, -2, ...,
+// m, -m, so that combined with tieEps the smallest-magnitude delay wins
+// ties without materializing the order as a slice.
+func delayAt(idx int) int {
+	if idx == 0 {
+		return 0
 	}
-	return out
+	d := (idx + 1) / 2
+	if idx%2 == 1 {
+		return d
+	}
+	return -d
 }
 
 // kcdDirect scans delays with the straightforward O(n·m) loop.
@@ -144,7 +212,8 @@ func kcdDirect(xc, yc []float64, m int) (float64, int) {
 	epsX, epsY := energyEps(xc), energyEps(yc)
 	best := math.Inf(-1)
 	bestDelay := 0
-	for _, s := range delayScanOrder(m) {
+	for idx := 0; idx <= 2*m; idx++ {
+		s := delayAt(idx)
 		var num, nx, ny float64
 		if s >= 0 {
 			// Compare x[s:] against y[:n-s] (Eq. 2, Eq. 3 first case).
@@ -173,14 +242,17 @@ func kcdDirect(xc, yc []float64, m int) (float64, int) {
 }
 
 // kcdFFT computes every lag's numerator with one FFT cross-correlation and
-// the per-lag norms from prefix sums of squares, for O(n log n) total.
-func kcdFFT(xc, yc []float64, m int) (float64, int) {
+// the per-lag norms from prefix sums of squares, for O(n log n) total. The
+// cross-correlation itself still allocates its frequency-domain buffers;
+// only the prefix sums come from the scratch.
+func kcdFFT(xc, yc []float64, m int, s *Scratch) (float64, int) {
 	n := len(xc)
 	// full[k + n - 1] = sum_i xc[i+k]*yc[i].
 	full := mathx.CrossCorrelateFFT(xc, yc)
 	// Prefix sums of squares: px[i] = sum of xc[0:i]^2.
-	px := make([]float64, n+1)
-	py := make([]float64, n+1)
+	s.growPrefix(n)
+	px, py := s.px, s.py
+	px[0], py[0] = 0, 0
 	for i := 0; i < n; i++ {
 		px[i+1] = px[i] + xc[i]*xc[i]
 		py[i+1] = py[i] + yc[i]*yc[i]
@@ -188,20 +260,21 @@ func kcdFFT(xc, yc []float64, m int) (float64, int) {
 	epsX, epsY := energyEps(xc), energyEps(yc)
 	best := math.Inf(-1)
 	bestDelay := 0
-	for _, s := range delayScanOrder(m) {
-		num := full[s+n-1]
+	for idx := 0; idx <= 2*m; idx++ {
+		d := delayAt(idx)
+		num := full[d+n-1]
 		var nx, ny float64
-		if s >= 0 {
-			nx = px[n] - px[s]   // xc[s:]
-			ny = py[n-s] - py[0] // yc[:n-s]
+		if d >= 0 {
+			nx = px[n] - px[d]   // xc[d:]
+			ny = py[n-d] - py[0] // yc[:n-d]
 		} else {
-			nx = px[n+s] - px[0] // xc[:n+s]
-			ny = py[n] - py[-s]  // yc[-s:]
+			nx = px[n+d] - px[0] // xc[:n+d]
+			ny = py[n] - py[-d]  // yc[-d:]
 		}
 		score := safeRatio(num, nx, ny, epsX, epsY)
 		if score > best+tieEps {
 			best = score
-			bestDelay = s
+			bestDelay = d
 		}
 	}
 	return best, bestDelay

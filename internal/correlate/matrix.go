@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"dbcatcher/internal/mathx"
-	"dbcatcher/internal/timeseries"
 )
 
 // Measure computes a correlation score in [-1, 1] (or [0, 1]) between two
@@ -96,35 +95,3 @@ func (m *Matrix) Row(j int) []float64 {
 // Pairs returns the number of stored pair scores.
 func (m *Matrix) Pairs() int { return len(m.scores) }
 
-// BuildMatrices computes the Q correlation matrices of Eq. 5 for the window
-// [start, start+n) of a unit's multivariate series. active[d] marks whether
-// database d participates; per the paper, an unused database has all of its
-// scores set to 0. A nil active slice means all databases are active.
-func BuildMatrices(u *timeseries.UnitSeries, start, n int, active []bool, measure Measure) ([]*Matrix, error) {
-	if measure == nil {
-		return nil, fmt.Errorf("correlate: nil measure")
-	}
-	out := make([]*Matrix, u.KPIs)
-	windows := make([][]float64, u.Databases)
-	for k := 0; k < u.KPIs; k++ {
-		m := NewMatrix(u.Databases)
-		for d := 0; d < u.Databases; d++ {
-			w, err := u.Series(k, d).Window(start, n)
-			if err != nil {
-				return nil, err
-			}
-			windows[d] = w
-		}
-		for i := 0; i < u.Databases; i++ {
-			for j := i + 1; j < u.Databases; j++ {
-				if active != nil && (!active[i] || !active[j]) {
-					m.Set(i, j, 0)
-					continue
-				}
-				m.Set(i, j, measure(windows[i], windows[j]))
-			}
-		}
-		out[k] = m
-	}
-	return out, nil
-}

@@ -10,6 +10,7 @@ import (
 
 	"dbcatcher/internal/anomaly"
 	"dbcatcher/internal/cluster"
+	"dbcatcher/internal/fleet"
 	"dbcatcher/internal/kpi"
 	"dbcatcher/internal/mathx"
 	"dbcatcher/internal/period"
@@ -98,6 +99,11 @@ type Config struct {
 	AnomalyRatio float64
 	// Seed makes the dataset reproducible.
 	Seed uint64
+	// Concurrency bounds the per-unit generation fan-out: <= 0 uses
+	// GOMAXPROCS, 1 forces serial generation. Every unit derives its RNG
+	// from the root seed before the fan-out starts, so the dataset is
+	// bit-identical at any setting.
+	Concurrency int
 }
 
 func (c Config) withDefaults() Config {
@@ -143,14 +149,23 @@ func Generate(cfg Config) (*Dataset, error) {
 	}
 	irr, per := cfg.Family.profiles()
 	ds := &Dataset{Name: cfg.Family.String(), Family: cfg.Family}
-	root := mathx.NewRNG(cfg.Seed)
 	nPeriodic := int(cfg.PeriodicFraction * float64(cfg.Units))
-	for i := 0; i < cfg.Units; i++ {
+	// Derive every unit's RNG from the root serially first: Split advances
+	// the root state, so the derivation order must not depend on
+	// scheduling. After this loop each unit owns an independent stream and
+	// the simulations can run in any order.
+	root := mathx.NewRNG(cfg.Seed)
+	rngs := make([]*mathx.RNG, cfg.Units)
+	for i := range rngs {
+		rngs[i] = root.Split(uint64(i + 1))
+	}
+	ds.Units = make([]*UnitData, cfg.Units)
+	err := fleet.Each(cfg.Units, cfg.Concurrency, func(i int) error {
 		profile := irr
 		if i < nPeriodic {
 			profile = per
 		}
-		unitRNG := root.Split(uint64(i + 1))
+		unitRNG := rngs[i]
 		u, err := cluster.Simulate(cluster.Config{
 			Name:      fmt.Sprintf("%s-unit%03d", cfg.Family, i),
 			Databases: cfg.Databases,
@@ -159,7 +174,7 @@ func Generate(cfg Config) (*Dataset, error) {
 			Seed:      unitRNG.Uint64(),
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		events := anomaly.GenerateSchedule(anomaly.ScheduleConfig{
 			Ticks:       cfg.Ticks,
@@ -168,9 +183,13 @@ func Generate(cfg Config) (*Dataset, error) {
 		}, unitRNG)
 		labels, err := anomaly.Inject(u, events, unitRNG)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		ds.Units = append(ds.Units, &UnitData{Unit: u, Labels: labels, Profile: profile})
+		ds.Units[i] = &UnitData{Unit: u, Labels: labels, Profile: profile}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return ds, nil
 }

@@ -7,6 +7,7 @@ package detect
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"dbcatcher/internal/anomaly"
@@ -25,8 +26,18 @@ type Config struct {
 	// window.DefaultFlexConfig().
 	Flex window.FlexConfig
 	// Measure is the pairwise correlation measure; nil means KCD with
-	// default options.
+	// detection-default options (the allocation-lean engine path). A
+	// non-nil measure must be safe for concurrent use unless Workers is 1.
 	Measure correlate.Measure
+	// KCDOptions overrides the KCD configuration used when Measure is
+	// nil. The pointer distinguishes "unset" from an explicit zero-valued
+	// override.
+	KCDOptions *correlate.Options
+	// Workers bounds the correlation fan-out per window: 0 uses
+	// GOMAXPROCS, 1 forces the serial path. Results are identical at any
+	// setting; callers that already parallelize across units (the fleet
+	// runner) pin this to 1 to avoid nested pools.
+	Workers int
 	// Active marks databases that participate; nil means all.
 	Active []bool
 	// Primary is the index of the unit's primary database. KPIs whose
@@ -41,10 +52,20 @@ func (c Config) withDefaults() Config {
 	if c.Flex == (window.FlexConfig{}) {
 		c.Flex = window.DefaultFlexConfig()
 	}
-	if c.Measure == nil {
-		c.Measure = correlate.KCDMeasure(correlate.DetectionOptions())
-	}
 	return c
+}
+
+// Engine materializes the correlation engine the configuration describes:
+// a custom measure when set, otherwise the allocation-lean KCD engine with
+// the configured (or detection-default) options, sized by Workers.
+func (c Config) Engine() *correlate.Engine {
+	if c.Measure != nil {
+		return correlate.NewMeasureEngine(c.Measure, c.Workers)
+	}
+	if c.KCDOptions != nil {
+		return correlate.NewEngine(*c.KCDOptions, c.Workers)
+	}
+	return correlate.NewEngine(correlate.DetectionOptions(), c.Workers)
 }
 
 // Verdict is the outcome of one judgment round: the window it covered and
@@ -84,57 +105,115 @@ type MatrixProvider interface {
 	Shape() (ticks, kpis, databases int)
 }
 
-// seriesProvider computes matrices directly from a UnitSeries.
+// seriesProvider computes matrices directly from a UnitSeries through a
+// reusable correlation engine.
 type seriesProvider struct {
-	u       *timeseries.UnitSeries
-	measure correlate.Measure
-	active  []bool
+	u      *timeseries.UnitSeries
+	engine *correlate.Engine
+	active []bool
 }
 
-// NewProvider wraps a unit series into an uncached MatrixProvider.
+// NewProvider wraps a unit series into an uncached MatrixProvider. A nil
+// measure selects the allocation-lean KCD engine with detection defaults;
+// a non-nil measure must be safe for concurrent use (the build fans out
+// over GOMAXPROCS workers — use NewEngineProvider to bound it).
 func NewProvider(u *timeseries.UnitSeries, measure correlate.Measure, active []bool) MatrixProvider {
-	if measure == nil {
-		measure = correlate.KCDMeasure(correlate.DetectionOptions())
-	}
-	return &seriesProvider{u: u, measure: measure, active: active}
+	return NewEngineProvider(u, Config{Measure: measure}.Engine(), active)
+}
+
+// NewEngineProvider wraps a unit series and an explicit correlation engine
+// into an uncached MatrixProvider.
+func NewEngineProvider(u *timeseries.UnitSeries, engine *correlate.Engine, active []bool) MatrixProvider {
+	return &seriesProvider{u: u, engine: engine, active: active}
 }
 
 func (p *seriesProvider) Matrices(start, size int) ([]*correlate.Matrix, error) {
-	return correlate.BuildMatrices(p.u, start, size, p.active, p.measure)
+	return p.engine.BuildMatrices(p.u, start, size, p.active)
 }
 
 func (p *seriesProvider) Shape() (int, int, int) {
 	return p.u.Len(), p.u.KPIs, p.u.Databases
 }
 
-// CachedProvider memoizes another provider's matrices by (start, size).
-// It is not safe for concurrent use.
+// DefaultCacheEntries bounds CachedProvider's memoization map. One entry
+// holds one window's Q matrices (~Q·N²/2 floats); 512 covers every window
+// the flexible policy can visit on multi-hour series while keeping the
+// worst case a few megabytes even at fleet scale.
+const DefaultCacheEntries = 512
+
+// CachedProvider memoizes another provider's matrices by (start, size),
+// bounded to a maximum entry count with oldest-first eviction (the GA
+// re-visits the same windows every generation, so recency hardly matters —
+// what matters is that long series cannot grow the map without limit). It
+// is safe for concurrent use; the parallel threshold searchers share one
+// per labelled unit.
 type CachedProvider struct {
 	inner MatrixProvider
+	mu    sync.Mutex
 	cache map[[2]int][]*correlate.Matrix
-	// Hits and Misses instrument cache effectiveness.
+	order [][2]int // insertion order, for FIFO eviction
+	max   int
+	// Hits and Misses instrument cache effectiveness. Read them only once
+	// concurrent use has quiesced.
 	Hits, Misses int
 }
 
-// NewCachedProvider wraps inner with memoization.
+// NewCachedProvider wraps inner with memoization bounded to
+// DefaultCacheEntries.
 func NewCachedProvider(inner MatrixProvider) *CachedProvider {
-	return &CachedProvider{inner: inner, cache: make(map[[2]int][]*correlate.Matrix)}
+	return NewCachedProviderSize(inner, DefaultCacheEntries)
 }
 
-// Matrices implements MatrixProvider.
+// NewCachedProviderSize is NewCachedProvider with an explicit entry cap;
+// maxEntries <= 0 falls back to DefaultCacheEntries.
+func NewCachedProviderSize(inner MatrixProvider, maxEntries int) *CachedProvider {
+	if maxEntries <= 0 {
+		maxEntries = DefaultCacheEntries
+	}
+	return &CachedProvider{
+		inner: inner,
+		cache: make(map[[2]int][]*correlate.Matrix),
+		max:   maxEntries,
+	}
+}
+
+// Matrices implements MatrixProvider. Concurrent misses on the same key
+// may compute the matrices twice; both results are identical and only one
+// is retained.
 func (c *CachedProvider) Matrices(start, size int) ([]*correlate.Matrix, error) {
 	key := [2]int{start, size}
+	c.mu.Lock()
 	if m, ok := c.cache[key]; ok {
 		c.Hits++
+		c.mu.Unlock()
 		return m, nil
 	}
+	c.mu.Unlock()
+	// Compute outside the lock so parallel fitness evaluations overlap.
 	m, err := c.inner.Matrices(start, size)
 	if err != nil {
 		return nil, err
 	}
+	c.mu.Lock()
 	c.Misses++
-	c.cache[key] = m
+	if _, ok := c.cache[key]; !ok {
+		if len(c.cache) >= c.max {
+			oldest := c.order[0]
+			c.order = c.order[1:]
+			delete(c.cache, oldest)
+		}
+		c.cache[key] = m
+		c.order = append(c.order, key)
+	}
+	c.mu.Unlock()
 	return m, nil
+}
+
+// Len returns the number of cached windows.
+func (c *CachedProvider) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.cache)
 }
 
 // Shape implements MatrixProvider.
@@ -147,7 +226,7 @@ func (c *CachedProvider) Shape() (int, int, int) { return c.inner.Shape() }
 // arrive, §IV-A3).
 func Run(u *timeseries.UnitSeries, cfg Config) ([]Verdict, *Timing, error) {
 	cfg = cfg.withDefaults()
-	return RunProvider(NewProvider(u, cfg.Measure, cfg.Active), cfg)
+	return RunProvider(NewEngineProvider(u, cfg.Engine(), cfg.Active), cfg)
 }
 
 // RunProvider is Run against an arbitrary matrix source.

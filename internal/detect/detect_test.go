@@ -5,6 +5,7 @@ import (
 
 	"dbcatcher/internal/anomaly"
 	"dbcatcher/internal/cluster"
+	"dbcatcher/internal/correlate"
 	"dbcatcher/internal/kpi"
 	"dbcatcher/internal/mathx"
 	"dbcatcher/internal/window"
@@ -188,6 +189,69 @@ func TestCachedProvider(t *testing.T) {
 	ticks, kpis, dbs := p.Shape()
 	if ticks != 200 || kpis != kpi.Count || dbs != 5 {
 		t.Fatalf("shape = %d %d %d", ticks, kpis, dbs)
+	}
+}
+
+// countingProvider fabricates tiny matrices and counts computations, so the
+// cache tests need no series behind them.
+type countingProvider struct {
+	computes int
+}
+
+func (c *countingProvider) Matrices(start, size int) ([]*correlate.Matrix, error) {
+	c.computes++
+	m := correlate.NewMatrix(2)
+	m.Set(0, 1, float64(start)+float64(size)/1000)
+	return []*correlate.Matrix{m}, nil
+}
+
+func (c *countingProvider) Shape() (int, int, int) { return 1000, 1, 2 }
+
+func TestCachedProviderCapHolds(t *testing.T) {
+	inner := &countingProvider{}
+	p := NewCachedProviderSize(inner, 8)
+	for start := 0; start < 100; start++ {
+		if _, err := p.Matrices(start, 20); err != nil {
+			t.Fatal(err)
+		}
+		if p.Len() > 8 {
+			t.Fatalf("cache grew to %d entries, cap is 8", p.Len())
+		}
+	}
+	if p.Len() != 8 {
+		t.Fatalf("cache holds %d entries after 100 distinct windows, want 8", p.Len())
+	}
+	// Eviction is oldest-first: the most recent 8 windows are resident.
+	before := inner.computes
+	for start := 92; start < 100; start++ {
+		if _, err := p.Matrices(start, 20); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if inner.computes != before {
+		t.Fatalf("recent windows recomputed: %d -> %d", before, inner.computes)
+	}
+	// The oldest window was evicted and must recompute.
+	if _, err := p.Matrices(0, 20); err != nil {
+		t.Fatal(err)
+	}
+	if inner.computes != before+1 {
+		t.Fatalf("evicted window not recomputed (computes %d, want %d)", inner.computes, before+1)
+	}
+	if p.Misses != 101 || p.Hits != 8 {
+		t.Fatalf("hits=%d misses=%d, want 8/101", p.Hits, p.Misses)
+	}
+}
+
+func TestCachedProviderDefaultCap(t *testing.T) {
+	p := NewCachedProvider(&countingProvider{})
+	for start := 0; start < DefaultCacheEntries+50; start++ {
+		if _, err := p.Matrices(start, 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.Len() != DefaultCacheEntries {
+		t.Fatalf("cache holds %d entries, want the %d default cap", p.Len(), DefaultCacheEntries)
 	}
 }
 

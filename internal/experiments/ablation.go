@@ -55,7 +55,7 @@ func TableX(cfg Config) (*Table, error) {
 			for _, v := range variants {
 				flex := window.DefaultFlexConfig()
 				flex.Disabled = !v.flexible
-				m := &baselines.DBCatcherMethod{Flex: flex, Measure: v.measure}
+				m := &baselines.DBCatcherMethod{Flex: flex, Measure: v.measure, Concurrency: cfg.Concurrency}
 				if _, err := m.Train(train.Units, seed); err != nil {
 					return nil, err
 				}

@@ -35,6 +35,7 @@ func Diagnosis(cfg Config) (*Table, error) {
 				return nil, err
 			}
 			m := baselines.NewDBCatcherMethod()
+			m.Concurrency = cfg.Concurrency
 			if _, err := m.Train(train.Units, seed); err != nil {
 				return nil, err
 			}

@@ -30,6 +30,10 @@ type Config struct {
 	Runs int
 	// Seed drives all randomness.
 	Seed uint64
+	// Concurrency bounds the per-unit fan-out during dataset generation
+	// and DBCatcher training/evaluation: <= 0 uses GOMAXPROCS, 1 forces
+	// serial. Tables are identical at any setting.
+	Concurrency int
 	// Log, when non-nil, receives progress lines.
 	Log io.Writer
 }
@@ -73,10 +77,11 @@ func (c Config) datasetShape(f dataset.Family) (units, ticks int) {
 func (c Config) generate(f dataset.Family, seed uint64) (*dataset.Dataset, error) {
 	units, ticks := c.datasetShape(f)
 	return dataset.Generate(dataset.Config{
-		Family: f,
-		Units:  units,
-		Ticks:  ticks,
-		Seed:   seed,
+		Family:      f,
+		Units:       units,
+		Ticks:       ticks,
+		Seed:        seed,
+		Concurrency: c.Concurrency,
 	})
 }
 

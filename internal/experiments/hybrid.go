@@ -39,6 +39,7 @@ func Hybrid(cfg Config) (*Table, error) {
 			return nil, err
 		}
 		pure := baselines.NewDBCatcherMethod()
+		pure.Concurrency = cfg.Concurrency
 		if _, err := pure.Train(train.Units, seed); err != nil {
 			return nil, err
 		}

@@ -10,14 +10,16 @@ import (
 )
 
 // methodSet builds fresh instances of all six compared methods.
-func methodSet() []baselines.Method {
+func methodSet(concurrency int) []baselines.Method {
+	dbc := baselines.NewDBCatcherMethod()
+	dbc.Concurrency = concurrency
 	return []baselines.Method{
 		baselines.NewFFTMethod(),
 		baselines.NewSRMethod(),
 		baselines.NewSRCNNMethod(),
 		baselines.NewOmniAnomalyMethod(),
 		baselines.NewJumpStarterMethod(),
-		baselines.NewDBCatcherMethod(),
+		dbc,
 	}
 }
 
@@ -77,7 +79,7 @@ func runCampaign(cfg Config, kind splitKind) (*PerfResults, error) {
 			if err != nil {
 				return nil, err
 			}
-			for _, m := range methodSet() {
+			for _, m := range methodSet(cfg.Concurrency) {
 				cfg.logf("[%s] run %d/%d: %s...", dsName, run+1, cfg.Runs, m.Name())
 				info, err := m.Train(train.Units, seed)
 				if err != nil {
@@ -257,7 +259,7 @@ func TableIX(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		for _, m := range methodSet() {
+		for _, m := range methodSet(cfg.Concurrency) {
 			// Initial fit on the source workload.
 			if _, err := m.Train(srcTrain.Units, seed); err != nil {
 				return nil, err

@@ -1,0 +1,110 @@
+package fleet
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestResolve(t *testing.T) {
+	if got := Resolve(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Resolve(0) = %d, want GOMAXPROCS", got)
+	}
+	if got := Resolve(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Resolve(-3) = %d, want GOMAXPROCS", got)
+	}
+	if got := Resolve(1); got != 1 {
+		t.Fatalf("Resolve(1) = %d, want 1", got)
+	}
+	if got := Resolve(7); got != 7 {
+		t.Fatalf("Resolve(7) = %d, want 7", got)
+	}
+}
+
+func TestMapPreservesOrder(t *testing.T) {
+	for _, conc := range []int{1, 2, 8} {
+		out, err := Map(50, conc, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("conc=%d: out[%d] = %d, want %d", conc, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestEachReportsError(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	// Serial: the first error in index order wins.
+	err := Each(20, 1, func(i int) error {
+		switch i {
+		case 3:
+			return errA
+		case 11:
+			return errB
+		}
+		return nil
+	})
+	if err != errA {
+		t.Fatalf("serial err = %v, want %v", err, errA)
+	}
+	// Parallel with a single failing index: exactly that error surfaces.
+	err = Each(20, 4, func(i int) error {
+		if i == 7 {
+			return errA
+		}
+		return nil
+	})
+	if err != errA {
+		t.Fatalf("parallel err = %v, want %v", err, errA)
+	}
+}
+
+func TestEachBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, peak atomic.Int64
+	var mu sync.Mutex
+	err := Each(40, workers, func(i int) error {
+		n := cur.Add(1)
+		mu.Lock()
+		if n > peak.Load() {
+			peak.Store(n)
+		}
+		mu.Unlock()
+		for j := 0; j < 1000; j++ {
+			_ = j * j // give siblings a chance to overlap
+		}
+		cur.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent tasks, bound is %d", p, workers)
+	}
+}
+
+func TestEachEmptyAndError(t *testing.T) {
+	if err := Each(0, 4, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatalf("n=0 must not run tasks: %v", err)
+	}
+	calls := 0
+	if err := Each(5, 1, func(i int) error {
+		calls++
+		if i == 2 {
+			return errors.New("stop")
+		}
+		return nil
+	}); err == nil {
+		t.Fatal("expected error")
+	}
+	if calls != 3 {
+		t.Fatalf("serial path ran %d tasks after error, want 3", calls)
+	}
+}

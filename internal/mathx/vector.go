@@ -222,16 +222,27 @@ func Quantile(v []float64, q float64) float64 {
 // Normalize rescales v into [0, 1] using min-max scaling (paper Eq. 1) and
 // returns a new slice. A constant series maps to all zeros.
 func Normalize(v []float64) []float64 {
-	out := make([]float64, len(v))
-	min, max := MinMax(v)
+	return NormalizeInto(make([]float64, len(v)), v)
+}
+
+// NormalizeInto is Normalize writing into a caller-owned buffer of the same
+// length, so hot paths can rescale without allocating. It returns dst.
+func NormalizeInto(dst, src []float64) []float64 {
+	if len(dst) != len(src) {
+		panic(ErrLengthMismatch)
+	}
+	min, max := MinMax(src)
 	span := max - min
 	if span == 0 {
-		return out
+		for i := range dst {
+			dst[i] = 0
+		}
+		return dst
 	}
-	for i, x := range v {
-		out[i] = (x - min) / span
+	for i, x := range src {
+		dst[i] = (x - min) / span
 	}
-	return out
+	return dst
 }
 
 // ZScore standardizes v to zero mean and unit variance, returning a new

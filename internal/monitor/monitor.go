@@ -119,6 +119,7 @@ type Verdict struct {
 // "DBCatcher waits for data points" behaviour of §III-C.
 type Online struct {
 	cfg        detect.Config
+	engine     *correlate.Engine
 	proc       *Processor
 	flex       *window.Flex
 	roundStart int
@@ -144,9 +145,12 @@ func NewOnline(cfg detect.Config, kpis, dbs int) (*Online, error) {
 	// Capacity: the max window plus one expansion step of slack.
 	capacity := cfg.Flex.Max + cfg.Flex.Initial
 	return &Online{
-		cfg:  cfg,
-		proc: NewProcessor(kpis, dbs, capacity),
-		flex: flex,
+		cfg: cfg,
+		// One engine for the judge's lifetime: its scratch pool makes the
+		// steady-state per-tick correlation pass allocation-lean.
+		engine: cfg.Engine(),
+		proc:   NewProcessor(kpis, dbs, capacity),
+		flex:   flex,
 	}, nil
 }
 
@@ -211,11 +215,7 @@ func (o *Online) Push(sample [][]float64) (*Verdict, error) {
 		return nil, err
 	}
 	kpis, dbs := o.proc.Shape()
-	measure := o.cfg.Measure
-	if measure == nil {
-		measure = correlate.KCDMeasure(correlate.DetectionOptions())
-	}
-	mats, err := correlate.BuildMatrices(u, 0, size, o.cfg.Active, measure)
+	mats, err := o.engine.BuildMatrices(u, 0, size, o.cfg.Active)
 	if err != nil {
 		return nil, err
 	}

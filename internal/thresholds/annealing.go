@@ -9,7 +9,11 @@ import (
 
 // SAA is the simulated annealing baseline of Fig. 11: a single genome
 // walks the threshold space, accepting worse neighbours with a
-// temperature-controlled probability.
+// temperature-controlled probability. The walk is inherently sequential —
+// each candidate depends on the previous acceptance — so SAA has no
+// evaluation pool of its own; parallelize inside the fitness function
+// instead (ParallelDetectorFitness fans one evaluation out across its
+// labelled units).
 type SAA struct {
 	// Steps is the number of annealing steps (default 300).
 	Steps int
@@ -115,6 +119,12 @@ type Random struct {
 	Ranges Ranges
 	// Seed drives the search's randomness.
 	Seed uint64
+	// Workers bounds the fitness-evaluation pool: 0 and 1 evaluate
+	// serially (the historical behaviour), AutoWorkers uses GOMAXPROCS,
+	// > 1 is taken literally. Parallel evaluation requires a
+	// concurrency-safe fitness; trial genomes are drawn serially from the
+	// seeded RNG, so the Result is identical at any worker count.
+	Workers int
 }
 
 func (r Random) withDefaults() Random {
@@ -135,11 +145,17 @@ func (r Random) Search(q int, fitness Fitness) Result {
 	r = r.withDefaults()
 	rng := mathx.NewRNG(r.Seed)
 	ec := &evalCounter{fn: fitness}
+	trials := make([]window.Thresholds, r.Trials)
+	for i := range trials {
+		trials[i] = r.Ranges.random(q, rng)
+	}
+	fs := ec.evalAll(trials, resolveSearchWorkers(r.Workers))
 	var best scored
 	best.f = math.Inf(-1)
-	for i := 0; i < r.Trials; i++ {
-		t := r.Ranges.random(q, rng)
-		best = betterOf(best, scored{t: t, f: ec.eval(t)})
+	// Reduce in trial order so ties resolve to the earliest trial, exactly
+	// as the incremental loop did.
+	for i, t := range trials {
+		best = betterOf(best, scored{t: t, f: fs[i]})
 	}
 	return Result{Best: best.t.Clone(), Fitness: best.f, Evaluations: ec.calls}
 }

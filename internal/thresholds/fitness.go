@@ -3,6 +3,7 @@ package thresholds
 import (
 	"dbcatcher/internal/anomaly"
 	"dbcatcher/internal/detect"
+	"dbcatcher/internal/fleet"
 	"dbcatcher/internal/metrics"
 	"dbcatcher/internal/window"
 )
@@ -20,22 +21,42 @@ type Sample struct {
 // module: run the detector with the candidate thresholds over the recent
 // labelled units and score the F-Measure of the resulting verdicts.
 func DetectorFitness(samples []Sample, flex window.FlexConfig) Fitness {
+	return ParallelDetectorFitness(samples, flex, 1)
+}
+
+// ParallelDetectorFitness is DetectorFitness fanning one evaluation out
+// across the labelled units: each unit's detection pass is independent, and
+// the per-unit confusions merge in unit order, so the score is identical to
+// the serial walk at any concurrency (<= 0 means GOMAXPROCS). The returned
+// Fitness is safe for concurrent use when the sample providers are (a
+// CachedProvider over a series provider is). Pick one parallel axis: a
+// searcher with Workers > 1 should use concurrency 1 here, and vice versa —
+// nesting multiplies goroutines without adding throughput.
+func ParallelDetectorFitness(samples []Sample, flex window.FlexConfig, concurrency int) Fitness {
 	return func(t window.Thresholds) float64 {
-		var c metrics.Confusion
-		for _, s := range samples {
-			verdicts, _, err := detect.RunProvider(s.Provider, detect.Config{
+		parts := make([]metrics.Confusion, len(samples))
+		err := fleet.Each(len(samples), concurrency, func(i int) error {
+			verdicts, _, err := detect.RunProvider(samples[i].Provider, detect.Config{
 				Thresholds: t,
 				Flex:       flex,
 			})
 			if err != nil {
-				// An invalid genome scores zero rather than aborting the
-				// search.
-				return 0
+				return err
 			}
-			part, err := detect.Evaluate(verdicts, s.Labels)
+			part, err := detect.Evaluate(verdicts, samples[i].Labels)
 			if err != nil {
-				return 0
+				return err
 			}
+			parts[i] = part
+			return nil
+		})
+		if err != nil {
+			// An invalid genome scores zero rather than aborting the
+			// search.
+			return 0
+		}
+		var c metrics.Confusion
+		for _, part := range parts {
 			c.Merge(part)
 		}
 		return c.FMeasure()

@@ -22,6 +22,13 @@ type GA struct {
 	Ranges Ranges
 	// Seed drives the search's randomness.
 	Seed uint64
+	// Workers bounds the fitness-evaluation pool: 0 and 1 evaluate
+	// serially (the historical behaviour — fitness may then be stateful),
+	// AutoWorkers uses GOMAXPROCS, > 1 is taken literally. Parallel
+	// evaluation requires a concurrency-safe fitness and returns the same
+	// Result as serial: genomes are bred serially from the seeded RNG and
+	// only their independent evaluations overlap.
+	Workers int
 }
 
 func (g GA) withDefaults() GA {
@@ -54,12 +61,16 @@ func (g GA) Search(q int, fitness Fitness) Result {
 	g = g.withDefaults()
 	rng := mathx.NewRNG(g.Seed)
 	ec := &evalCounter{fn: fitness}
+	workers := resolveSearchWorkers(g.Workers)
 
-	pop := make([]scored, g.Population)
-	for i := range pop {
-		t := g.Ranges.random(q, rng)
-		pop[i] = scored{t: t, f: ec.eval(t)}
+	// Genome generation always runs serially against the seeded RNG; only
+	// the independent fitness evaluations fan out. The RNG call sequence —
+	// and therefore every genome — is identical at any worker count.
+	genomes := make([]window.Thresholds, g.Population)
+	for i := range genomes {
+		genomes[i] = g.Ranges.random(q, rng)
 	}
+	pop := scoreAll(genomes, ec, workers)
 	best := pop[0]
 	for _, s := range pop[1:] {
 		best = betterOf(best, s)
@@ -83,23 +94,40 @@ func (g GA) Search(q int, fitness Fitness) Result {
 			weights[i] = s.f
 		}
 		probs := safeProb(weights)
-		// Breed offspring to restore the population size (lines 10-12).
-		for len(pop) < g.Population {
+		// Breed offspring to restore the population size (lines 10-12),
+		// then evaluate the brood as one batch. The second child of the
+		// final pair is still bred (its mutation draws stay in the RNG
+		// stream) but dropped unevaluated when the population is full,
+		// exactly as the incremental loop did.
+		brood := genomes[:0]
+		for len(pop)+len(brood) < g.Population {
 			pa := pop[pick(probs, rng)].t
 			pb := pop[pick(probs, rng)].t
 			ca, cb := g.crossover(pa, pb, rng)
 			g.mutate(&ca, rng)
 			g.mutate(&cb, rng)
-			pop = append(pop, scored{t: ca, f: ec.eval(ca)})
-			if len(pop) < g.Population {
-				pop = append(pop, scored{t: cb, f: ec.eval(cb)})
+			brood = append(brood, ca)
+			if len(pop)+len(brood) < g.Population {
+				brood = append(brood, cb)
 			}
 		}
+		pop = append(pop, scoreAll(brood, ec, workers)...)
 	}
 	for _, s := range pop {
 		best = betterOf(best, s)
 	}
 	return Result{Best: best.t.Clone(), Fitness: best.f, Evaluations: ec.calls}
+}
+
+// scoreAll evaluates a batch of genomes over the worker pool and pairs each
+// with its fitness, in genome order.
+func scoreAll(genomes []window.Thresholds, ec *evalCounter, workers int) []scored {
+	fs := ec.evalAll(genomes, workers)
+	out := make([]scored, len(genomes))
+	for i, t := range genomes {
+		out[i] = scored{t: t, f: fs[i]}
+	}
+	return out
 }
 
 // crossover swaps the α tails of two parents at a random cut point M in

@@ -1,0 +1,123 @@
+package thresholds
+
+import (
+	"math"
+	"testing"
+
+	"dbcatcher/internal/anomaly"
+	"dbcatcher/internal/cluster"
+	"dbcatcher/internal/detect"
+	"dbcatcher/internal/mathx"
+	"dbcatcher/internal/window"
+)
+
+// smoothFitness is a pure, concurrency-safe fitness with enough structure
+// for the searchers to climb.
+func smoothFitness(t window.Thresholds) float64 {
+	f := 0.0
+	for _, a := range t.Alpha {
+		f += 1 - math.Abs(a-0.6)
+	}
+	f /= float64(len(t.Alpha))
+	f += 0.5 * (1 - math.Abs(t.Theta-0.2))
+	f -= 0.05 * float64(t.MaxTolerance)
+	return f
+}
+
+func resultsEqual(a, b Result) bool {
+	if a.Fitness != b.Fitness || a.Evaluations != b.Evaluations {
+		return false
+	}
+	if a.Best.Theta != b.Best.Theta || a.Best.MaxTolerance != b.Best.MaxTolerance {
+		return false
+	}
+	if len(a.Best.Alpha) != len(b.Best.Alpha) {
+		return false
+	}
+	for i := range a.Best.Alpha {
+		if a.Best.Alpha[i] != b.Best.Alpha[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestGAParallelMatchesSerial is the searcher-side determinism guarantee:
+// genomes are bred serially from the seeded RNG, so parallel fitness
+// evaluation must return a bit-identical Result.
+func TestGAParallelMatchesSerial(t *testing.T) {
+	serial := GA{Seed: 42}.Search(14, smoothFitness)
+	for _, workers := range []int{1, 2, 8, AutoWorkers} {
+		got := GA{Seed: 42, Workers: workers}.Search(14, smoothFitness)
+		if !resultsEqual(serial, got) {
+			t.Fatalf("GA workers=%d diverged: %+v vs %+v", workers, got, serial)
+		}
+	}
+}
+
+func TestRandomParallelMatchesSerial(t *testing.T) {
+	serial := Random{Seed: 7, Trials: 100}.Search(14, smoothFitness)
+	for _, workers := range []int{2, 8, AutoWorkers} {
+		got := Random{Seed: 7, Trials: 100, Workers: workers}.Search(14, smoothFitness)
+		if !resultsEqual(serial, got) {
+			t.Fatalf("Random workers=%d diverged: %+v vs %+v", workers, got, serial)
+		}
+	}
+}
+
+// TestSerialEvalOrderPreserved pins the backstop for order-dependent
+// fitness closures: Workers 0 and 1 call the fitness strictly in genome
+// order, exactly like the historical incremental searchers.
+func TestSerialEvalOrderPreserved(t *testing.T) {
+	calls := 0
+	counting := func(window.Thresholds) float64 {
+		calls++
+		return float64(calls)
+	}
+	res := Random{Seed: 1, Trials: 25}.Search(3, counting)
+	if res.Evaluations != 25 || calls != 25 {
+		t.Fatalf("evaluations = %d, calls = %d, want 25", res.Evaluations, calls)
+	}
+	// Later trials score strictly higher under this closure, so the best
+	// must be the last trial's fitness — only true if order is preserved.
+	if res.Fitness != 25 {
+		t.Fatalf("best fitness = %v, want 25 (order-dependent closure)", res.Fitness)
+	}
+}
+
+// TestParallelDetectorFitnessMatchesSerial: the per-unit fan-out must score
+// every genome exactly like the serial walk.
+func TestParallelDetectorFitnessMatchesSerial(t *testing.T) {
+	var samples []Sample
+	for i := 0; i < 3; i++ {
+		u, err := cluster.Simulate(cluster.Config{
+			Name: "u", Ticks: 300, Seed: uint64(20 + i),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		events := anomaly.GenerateSchedule(anomaly.ScheduleConfig{
+			Ticks: 300, Databases: 5, TargetRatio: 0.08,
+		}, mathx.NewRNG(uint64(30+i)))
+		labels, err := anomaly.Inject(u, events, mathx.NewRNG(uint64(40+i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		samples = append(samples, Sample{
+			Provider: detect.NewCachedProvider(detect.NewProvider(u.Series, nil, nil)),
+			Labels:   labels,
+		})
+	}
+	flex := window.DefaultFlexConfig()
+	serial := DetectorFitness(samples, flex)
+	parallel := ParallelDetectorFitness(samples, flex, 4)
+	rng := mathx.NewRNG(5)
+	r := DefaultRanges()
+	for i := 0; i < 5; i++ {
+		genome := r.random(14, rng)
+		s, p := serial(genome), parallel(genome)
+		if s != p {
+			t.Fatalf("genome %d: serial %v != parallel %v", i, s, p)
+		}
+	}
+}

@@ -12,7 +12,9 @@ package thresholds
 
 import (
 	"math"
+	"runtime"
 
+	"dbcatcher/internal/fleet"
 	"dbcatcher/internal/mathx"
 	"dbcatcher/internal/window"
 )
@@ -102,6 +104,21 @@ type scored struct {
 	f float64
 }
 
+// AutoWorkers, assigned to a searcher's Workers knob, sizes its evaluation
+// pool to GOMAXPROCS.
+const AutoWorkers = -1
+
+// resolveSearchWorkers maps a searcher's Workers knob to a pool size.
+// Unlike the detection-side knobs, 0 stays serial here: a fitness function
+// is allowed to be order-dependent or stateful unless the caller opts into
+// parallel evaluation (negative = GOMAXPROCS, > 1 = that many workers).
+func resolveSearchWorkers(w int) int {
+	if w < 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return w
+}
+
 // evalCounter wraps a fitness function to count calls.
 type evalCounter struct {
 	fn    Fitness
@@ -111,6 +128,26 @@ type evalCounter struct {
 func (e *evalCounter) eval(t window.Thresholds) float64 {
 	e.calls++
 	return e.fn(t)
+}
+
+// evalAll scores a batch of genomes, fanning out over a worker pool when
+// workers > 1 (the fitness function must then be safe for concurrent use).
+// Results land in genome order, and with workers <= 1 the fitness is called
+// strictly in genome order, matching the historical serial searchers.
+func (e *evalCounter) evalAll(genomes []window.Thresholds, workers int) []float64 {
+	e.calls += len(genomes)
+	out := make([]float64, len(genomes))
+	if workers <= 1 {
+		for i, t := range genomes {
+			out[i] = e.fn(t)
+		}
+		return out
+	}
+	fleet.Each(len(genomes), workers, func(i int) error {
+		out[i] = e.fn(genomes[i])
+		return nil
+	})
+	return out
 }
 
 // betterOf returns the higher-fitness candidate, preferring a over ties.

@@ -1,0 +1,91 @@
+package dbcatcher
+
+import (
+	"testing"
+
+	"dbcatcher/internal/dataset"
+)
+
+// TestDetectSeriesWorkersDeterministic pins the facade-level guarantee:
+// verdicts are bit-identical at any Workers setting.
+func TestDetectSeriesWorkersDeterministic(t *testing.T) {
+	u, err := SimulateUnit(UnitConfig{Name: "par", Ticks: 400, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err = InjectAnomalies(u, []AnomalyEvent{
+		{Type: Stall, DB: 1, Start: 150, Length: 40, Magnitude: 0.9},
+	}, 5); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := DetectSeries(u.Series, Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref) == 0 {
+		t.Fatal("no verdicts")
+	}
+	for _, workers := range []int{0, 2, 8} {
+		got, err := DetectSeries(u.Series, Config{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(ref) {
+			t.Fatalf("workers=%d: %d verdicts, want %d", workers, len(got), len(ref))
+		}
+		for i := range ref {
+			if got[i].Start != ref[i].Start || got[i].Size != ref[i].Size ||
+				got[i].Abnormal != ref[i].Abnormal || got[i].AbnormalDB != ref[i].AbnormalDB {
+				t.Fatalf("workers=%d: verdict %d = %+v, want %+v", workers, i, got[i], ref[i])
+			}
+			for d := range ref[i].States {
+				if got[i].States[d] != ref[i].States[d] {
+					t.Fatalf("workers=%d: verdict %d state[%d] differs", workers, i, d)
+				}
+			}
+		}
+	}
+}
+
+// TestGenerateDatasetConcurrencyDeterministic: the per-unit RNGs are split
+// off before the fan-out, so generation is bit-identical at any
+// concurrency.
+func TestGenerateDatasetConcurrencyDeterministic(t *testing.T) {
+	base := DatasetConfig{Family: dataset.Sysbench, Units: 6, Ticks: 200, Seed: 77}
+	serialCfg := base
+	serialCfg.Concurrency = 1
+	serial, err := GenerateDataset(serialCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallelCfg := base
+	parallelCfg.Concurrency = 4
+	parallel, err := GenerateDataset(parallelCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial.Units) != len(parallel.Units) {
+		t.Fatalf("unit counts differ: %d vs %d", len(serial.Units), len(parallel.Units))
+	}
+	for i := range serial.Units {
+		su, pu := serial.Units[i], parallel.Units[i]
+		if su.Unit.Config.Name != pu.Unit.Config.Name || su.Profile != pu.Profile {
+			t.Fatalf("unit %d metadata differs", i)
+		}
+		if su.Labels.AbnormalCount() != pu.Labels.AbnormalCount() {
+			t.Fatalf("unit %d labels differ", i)
+		}
+		for k := 0; k < su.Unit.Series.KPIs; k++ {
+			for d := 0; d < su.Unit.Series.Databases; d++ {
+				sv := su.Unit.Series.Data[k][d].Values
+				pv := pu.Unit.Series.Data[k][d].Values
+				for tk := range sv {
+					if sv[tk] != pv[tk] {
+						t.Fatalf("unit %d KPI %d db %d tick %d: %v vs %v",
+							i, k, d, tk, sv[tk], pv[tk])
+					}
+				}
+			}
+		}
+	}
+}
