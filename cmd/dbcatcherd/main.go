@@ -45,6 +45,12 @@ func main() {
 		foTick    = flag.Int("failover-tick", 0, "tick at which a failover promotes a replica (0 = none)")
 		foTarget  = flag.Int("failover-target", 1, "replica promoted at -failover-tick")
 		conc      = flag.Int("concurrency", 0, "correlation worker pool per window (0 = GOMAXPROCS, 1 = serial; verdicts identical)")
+
+		faultDropTick = flag.Float64("fault-drop-tick", 0, "probability a whole collection tick is lost")
+		faultDropCell = flag.Float64("fault-drop-cell", 0, "per-cell probability a (KPI, database) point is lost")
+		faultPartial  = flag.Float64("fault-partial-row", 0, "per-KPI probability a row arrives truncated")
+		faultStale    = flag.Float64("fault-stale", 0, "probability a tick is re-delivered stale")
+		faultSilences = flag.String("fault-silence", "", "scheduled database outages as db:start:length[,db:start:length...]")
 	)
 	flag.Parse()
 
@@ -77,6 +83,26 @@ func main() {
 			len(labels.Events), 100*labels.Ratio())
 	}
 
+	plan := workload.FaultPlan{
+		Seed:           *seed + 3,
+		DropTickRate:   *faultDropTick,
+		DropCellRate:   *faultDropCell,
+		PartialRowRate: *faultPartial,
+		StaleRate:      *faultStale,
+	}
+	plan.Silences, err = parseSilences(*faultSilences)
+	if err != nil {
+		log.Fatalf("dbcatcherd: %v", err)
+	}
+	collector, err := cluster.NewCollector(u.Series, plan)
+	if err != nil {
+		log.Fatalf("dbcatcherd: %v", err)
+	}
+	if !plan.IsZero() {
+		log.Printf("collector faults enabled: drop-tick=%.3f drop-cell=%.3f partial-row=%.3f stale=%.3f silences=%d",
+			plan.DropTickRate, plan.DropCellRate, plan.PartialRowRate, plan.StaleRate, len(plan.Silences))
+	}
+
 	online, err := monitor.NewOnline(detect.Config{
 		Thresholds: window.DefaultThresholds(kpi.Count),
 		Workers:    *conc,
@@ -86,13 +112,11 @@ func main() {
 	}
 	srv := server.New(online, "live", 512)
 
-	// Feeder: replay the simulated unit at the configured speed.
+	// Feeder: replay the simulated unit's lossy collection stream at the
+	// configured speed. The degraded-mode monitor accepts nil and partial
+	// samples, so faults degrade verdicts instead of stopping the feeder.
 	go func() {
 		interval := time.Duration(float64(5*time.Second) / *speedup)
-		sample := make([][]float64, kpi.Count)
-		for k := range sample {
-			sample[k] = make([]float64, *dbs)
-		}
 		for tick := 0; tick < *horizon; tick++ {
 			if *foTick > 0 && tick == *foTick {
 				// The detector follows the promotion so R-R KPIs are
@@ -103,27 +127,37 @@ func main() {
 					log.Printf("failover: detector now treats db%d as primary", *foTarget)
 				}
 			}
-			for k := 0; k < kpi.Count; k++ {
-				for d := 0; d < *dbs; d++ {
-					sample[k][d] = u.Series.Data[k][d].At(tick)
-				}
+			sample, ok := collector.Next()
+			if !ok {
+				break
 			}
 			v, err := srv.Push(sample)
 			if err != nil {
 				log.Printf("push: %v", err)
 				return
 			}
-			if v != nil && v.Abnormal {
-				truth := ""
-				if labels != nil && tickAbnormal(labels, v.Start, v.Size) {
-					truth = " (matches injected anomaly)"
+			if v != nil {
+				switch {
+				case v.Health == detect.HealthSkipped:
+					log.Printf("SKIPPED round: window [%d, %d) lost to collector faults", v.Start, v.Start+v.Size)
+				case v.Abnormal:
+					truth := ""
+					if labels != nil && tickAbnormal(labels, v.Start, v.Size) {
+						truth = " (matches injected anomaly)"
+					}
+					degraded := ""
+					if v.Health == detect.HealthDegraded {
+						degraded = fmt.Sprintf(" [degraded: %d gap cells]", v.GapCells)
+					}
+					log.Printf("ABNORMAL verdict: window [%d, %d) db=%d%s%s",
+						v.Start, v.Start+v.Size, v.AbnormalDB, truth, degraded)
 				}
-				log.Printf("ABNORMAL verdict: window [%d, %d) db=%d%s",
-					v.Start, v.Start+v.Size, v.AbnormalDB, truth)
 			}
 			time.Sleep(interval)
 		}
-		log.Printf("replay finished after %d ticks", *horizon)
+		h := online.Health()
+		log.Printf("replay finished: %d gap cells, %d missed ticks, %d degraded verdicts, %d skipped rounds, %d deactivations, %d reactivations",
+			h.GapCells, h.MissedTicks, h.DegradedVerdicts, h.SkippedRounds, h.Deactivations, h.Reactivations)
 	}()
 
 	log.Printf("listening on %s", *addr)
@@ -139,6 +173,22 @@ func tickAbnormal(l *anomaly.Labels, start, size int) bool {
 		}
 	}
 	return false
+}
+
+// parseSilences parses "db:start:length[,db:start:length...]".
+func parseSilences(s string) ([]workload.Silence, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []workload.Silence
+	for _, part := range strings.Split(s, ",") {
+		var sil workload.Silence
+		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d:%d:%d", &sil.DB, &sil.Start, &sil.Length); err != nil {
+			return nil, fmt.Errorf("bad silence %q (want db:start:length): %v", part, err)
+		}
+		out = append(out, sil)
+	}
+	return out, nil
 }
 
 func parseProfile(s string) (workload.Profile, error) {

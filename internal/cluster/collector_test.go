@@ -1,0 +1,163 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"dbcatcher/internal/workload"
+)
+
+func simulateSmall(t *testing.T, ticks int) *Unit {
+	t.Helper()
+	u, err := Simulate(Config{Name: "u", Ticks: ticks, Seed: 7, Profile: workload.TencentIrregular})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+func TestCollectorZeroPlanPassthrough(t *testing.T) {
+	u := simulateSmall(t, 50)
+	c, err := NewCollector(u.Series, workload.FaultPlan{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tick := 0; tick < 50; tick++ {
+		sample, ok := c.Next()
+		if !ok || sample == nil {
+			t.Fatalf("tick %d: dropped or exhausted under zero plan", tick)
+		}
+		for k := 0; k < u.Series.KPIs; k++ {
+			if len(sample[k]) != u.Series.Databases {
+				t.Fatalf("tick %d KPI %d truncated to %d", tick, k, len(sample[k]))
+			}
+			for d := 0; d < u.Series.Databases; d++ {
+				if sample[k][d] != u.Series.Data[k][d].At(tick) {
+					t.Fatalf("tick %d cell (%d,%d) altered", tick, k, d)
+				}
+			}
+		}
+	}
+	if _, ok := c.Next(); ok {
+		t.Fatal("collector must exhaust after the series ends")
+	}
+}
+
+func TestCollectorDeterministic(t *testing.T) {
+	u := simulateSmall(t, 120)
+	plan := workload.FaultPlan{
+		Seed: 5, DropTickRate: 0.1, DropCellRate: 0.05, PartialRowRate: 0.05, StaleRate: 0.05,
+		Silences: []workload.Silence{{DB: 2, Start: 30, Length: 20}},
+	}
+	c1, err := NewCollector(u.Series, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, _ := NewCollector(u.Series, plan)
+	for tick := 0; tick < 120; tick++ {
+		s1, ok1 := c1.Next()
+		s2, ok2 := c2.Next()
+		if ok1 != ok2 || (s1 == nil) != (s2 == nil) {
+			t.Fatalf("tick %d: delivery divergence", tick)
+		}
+		if s1 == nil {
+			continue
+		}
+		for k := range s1 {
+			if len(s1[k]) != len(s2[k]) {
+				t.Fatalf("tick %d KPI %d row length divergence", tick, k)
+			}
+			for d := range s1[k] {
+				a, b := s1[k][d], s2[k][d]
+				if a != b && !(math.IsNaN(a) && math.IsNaN(b)) {
+					t.Fatalf("tick %d cell (%d,%d) divergence", tick, k, d)
+				}
+			}
+		}
+	}
+}
+
+func TestCollectorFaultChannels(t *testing.T) {
+	u := simulateSmall(t, 300)
+	plan := workload.FaultPlan{
+		Seed: 11, DropTickRate: 0.2, DropCellRate: 0.1, PartialRowRate: 0.1,
+		Silences: []workload.Silence{{DB: 3, Start: 100, Length: 50}},
+	}
+	c, err := NewCollector(u.Series, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drops, nanCells, shortRows := 0, 0, 0
+	for tick := 0; tick < 300; tick++ {
+		sample, ok := c.Next()
+		if !ok {
+			t.Fatal("exhausted early")
+		}
+		if sample == nil {
+			drops++
+			continue
+		}
+		silent := tick >= 100 && tick < 150
+		for k := range sample {
+			if len(sample[k]) < u.Series.Databases {
+				shortRows++
+			}
+			for d, v := range sample[k] {
+				if math.IsNaN(v) {
+					nanCells++
+				} else if silent && d == 3 {
+					t.Fatalf("tick %d: silenced db3 delivered a value", tick)
+				}
+			}
+		}
+	}
+	if drops < 30 || drops > 100 {
+		t.Fatalf("dropped ticks = %d, want around 60", drops)
+	}
+	if nanCells == 0 {
+		t.Fatal("no NaN cells despite cell drops and a silence")
+	}
+	if shortRows == 0 {
+		t.Fatal("no truncated rows despite partial-row faults")
+	}
+}
+
+func TestCollectorStaleDelivery(t *testing.T) {
+	u := simulateSmall(t, 200)
+	c, err := NewCollector(u.Series, workload.FaultPlan{Seed: 3, StaleRate: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale := 0
+	for tick := 0; tick < 200; tick++ {
+		sample, ok := c.Next()
+		if !ok || sample == nil {
+			t.Fatal("stale-only plan must deliver every tick")
+		}
+		// A stale tick matches the previous tick's values on every cell.
+		if tick > 0 && sample[0][0] == u.Series.Data[0][0].At(tick-1) &&
+			sample[0][0] != u.Series.Data[0][0].At(tick) {
+			stale++
+		}
+	}
+	if stale == 0 {
+		t.Fatal("no stale deliveries observed at 30% rate")
+	}
+}
+
+func TestCollectorRejectsBadPlan(t *testing.T) {
+	u := simulateSmall(t, 10)
+	if _, err := NewCollector(u.Series, workload.FaultPlan{DropTickRate: 1.5}); err == nil {
+		t.Fatal("rate above 1 must be rejected")
+	}
+	if _, err := NewCollector(u.Series, workload.FaultPlan{
+		Silences: []workload.Silence{{DB: 9, Start: 0, Length: 5}},
+	}); err == nil {
+		t.Fatal("out-of-range silence target must be rejected")
+	}
+	if _, err := NewCollector(u.Series, workload.FaultPlan{
+		Silences: []workload.Silence{{DB: 1, Start: 0, Length: 0}},
+	}); err == nil {
+		t.Fatal("empty silence must be rejected")
+	}
+}

@@ -150,12 +150,17 @@ func KCDWithDelayScratch(x, y []float64, opts Options, s *Scratch) (score float6
 		s = NewScratch()
 	}
 	s.grow(n)
+	copy(s.xc, x)
+	copy(s.yc, y)
+	// Collector gaps arrive as NaN points; repair them in the scratch copy
+	// so a few holes degrade the score gracefully instead of poisoning the
+	// normalization and every overlap they touch. Gap-free windows take the
+	// early-exit scan and compute bit-identical scores.
+	repairGaps(s.xc)
+	repairGaps(s.yc)
 	if opts.Normalize {
-		mathx.NormalizeInto(s.xc, x)
-		mathx.NormalizeInto(s.yc, y)
-	} else {
-		copy(s.xc, x)
-		copy(s.yc, y)
+		mathx.NormalizeInto(s.xc, s.xc)
+		mathx.NormalizeInto(s.yc, s.yc)
 	}
 	// Center by the full-window means (ave(x), ave(y) in Eq. 3).
 	mx, my := mathx.Mean(s.xc), mathx.Mean(s.yc)
@@ -176,6 +181,55 @@ func KCDWithDelayScratch(x, y []float64, opts Options, s *Scratch) (score float6
 		return kcdFFT(s.xc, s.yc, m, s)
 	}
 	return kcdDirect(s.xc, s.yc, m)
+}
+
+// repairGaps fills NaN holes in place: interior runs are linearly
+// interpolated between their surviving neighbours, leading/trailing runs
+// hold the nearest surviving value, and an all-gap window becomes all
+// zeros (a constant series, which the degenerate-window rules already
+// handle). It allocates nothing and reports whether any repair happened.
+func repairGaps(v []float64) bool {
+	n := len(v)
+	i := 0
+	for i < n && !math.IsNaN(v[i]) {
+		i++
+	}
+	if i == n {
+		return false // fast path: no gaps
+	}
+	for i < n {
+		if !math.IsNaN(v[i]) {
+			i++
+			continue
+		}
+		runStart := i
+		for i < n && math.IsNaN(v[i]) {
+			i++
+		}
+		// Gap run [runStart, i); left neighbour at runStart-1, right at i.
+		switch {
+		case runStart == 0 && i == n:
+			for j := range v {
+				v[j] = 0
+			}
+		case runStart == 0:
+			for j := 0; j < i; j++ {
+				v[j] = v[i]
+			}
+		case i == n:
+			for j := runStart; j < n; j++ {
+				v[j] = v[runStart-1]
+			}
+		default:
+			left, right := v[runStart-1], v[i]
+			span := float64(i - runStart + 1)
+			for j := runStart; j < i; j++ {
+				frac := float64(j-runStart+1) / span
+				v[j] = left + (right-left)*frac
+			}
+		}
+	}
+	return true
 }
 
 func allZero(v []float64) bool {

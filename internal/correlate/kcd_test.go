@@ -223,3 +223,81 @@ func TestDetectionOptionsStillFindSmallDelays(t *testing.T) {
 		t.Fatalf("capped scan: score=%v delay=%d, want ~1 and -2", score, delay)
 	}
 }
+
+func TestRepairGaps(t *testing.T) {
+	nan := math.NaN()
+	cases := []struct {
+		name string
+		in   []float64
+		want []float64
+	}{
+		{"no gaps", []float64{1, 2, 3}, []float64{1, 2, 3}},
+		{"interior run", []float64{1, nan, nan, 4}, []float64{1, 2, 3, 4}},
+		{"single interior", []float64{0, nan, 2}, []float64{0, 1, 2}},
+		{"leading run", []float64{nan, nan, 3, 4}, []float64{3, 3, 3, 4}},
+		{"trailing run", []float64{1, 2, nan, nan}, []float64{1, 2, 2, 2}},
+		{"all gaps", []float64{nan, nan, nan}, []float64{0, 0, 0}},
+		{"two runs", []float64{nan, 2, nan, 4, nan}, []float64{2, 2, 3, 4, 4}},
+	}
+	for _, tc := range cases {
+		got := append([]float64(nil), tc.in...)
+		repaired := repairGaps(got)
+		if !mathx.EqualApprox(got, tc.want, 1e-12) {
+			t.Errorf("%s: repairGaps = %v, want %v", tc.name, got, tc.want)
+		}
+		hadGap := false
+		for _, v := range tc.in {
+			if math.IsNaN(v) {
+				hadGap = true
+			}
+		}
+		if repaired != hadGap {
+			t.Errorf("%s: repaired = %v, want %v", tc.name, repaired, hadGap)
+		}
+	}
+}
+
+// A few holes must not poison the score: KCD over a gapped copy of a clean
+// signal stays close to the clean self-correlation.
+func TestKCDGapTolerance(t *testing.T) {
+	x := sine(64, 16, 0)
+	y := append([]float64(nil), x...)
+	for _, i := range []int{5, 6, 30, 63} {
+		y[i] = math.NaN()
+	}
+	got := KCD(x, y, DetectionOptions())
+	if got < 0.98 {
+		t.Fatalf("KCD with 4 repaired holes = %v, want near 1", got)
+	}
+	// Equal gaps on both sides behave the same.
+	x2 := append([]float64(nil), x...)
+	x2[10] = math.NaN()
+	if s := KCD(x2, x2, DetectionOptions()); math.Abs(s-1) > 1e-9 {
+		t.Fatalf("KCD(gapped, same gapped) = %v, want 1", s)
+	}
+	// All-gap vs signal: one side constant after repair -> uncorrelated.
+	allGap := make([]float64, 64)
+	for i := range allGap {
+		allGap[i] = math.NaN()
+	}
+	if s := KCD(x, allGap, DetectionOptions()); s != 0 {
+		t.Fatalf("KCD(signal, all-gap) = %v, want 0", s)
+	}
+}
+
+// Gap-free scores must be bit-identical to the pre-gap-tolerance path, and
+// the warm scratch path must stay allocation-free even when repairing gaps.
+func TestKCDScratchGapRepairAllocFree(t *testing.T) {
+	x := sine(60, 20, 0)
+	y := append([]float64(nil), sine(60, 20, 0.3)...)
+	y[7] = math.NaN()
+	y[8] = math.NaN()
+	s := NewScratch()
+	KCDWithDelayScratch(x, y, DetectionOptions(), s) // warm the buffers
+	allocs := testing.AllocsPerRun(100, func() {
+		KCDWithDelayScratch(x, y, DetectionOptions(), s)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm gap-repairing KCD allocates %v/op, want 0", allocs)
+	}
+}

@@ -68,6 +68,38 @@ func (c Config) Engine() *correlate.Engine {
 	return correlate.NewEngine(correlate.DetectionOptions(), c.Workers)
 }
 
+// Health qualifies how trustworthy a verdict is under lossy collection.
+// Offline passes over complete series always emit HealthOK; the online
+// monitor downgrades rounds whose input was damaged.
+type Health int
+
+const (
+	// HealthOK: the round judged a complete window.
+	HealthOK Health = iota
+	// HealthDegraded: the round was judged, but some input points were
+	// collector gaps (repaired by interpolation) or databases were
+	// auto-deactivated for exceeding their gap budget.
+	HealthDegraded
+	// HealthSkipped: the round could not be judged at all — its window was
+	// evicted during a collector outage, or too few databases remained
+	// active to correlate. The covered range carries no judgment.
+	HealthSkipped
+)
+
+// String names the health.
+func (h Health) String() string {
+	switch h {
+	case HealthOK:
+		return "ok"
+	case HealthDegraded:
+		return "degraded"
+	case HealthSkipped:
+		return "skipped"
+	default:
+		return fmt.Sprintf("Health(%d)", int(h))
+	}
+}
+
 // Verdict is the outcome of one judgment round: the window it covered and
 // the final per-database states.
 type Verdict struct {
@@ -82,6 +114,9 @@ type Verdict struct {
 	AbnormalDB int
 	// Expansions counts how often the window grew during the round.
 	Expansions int
+	// Health qualifies the verdict under lossy collection (always
+	// HealthOK for offline passes over complete series).
+	Health Health
 }
 
 // Timing splits the cost of a pass between the correlation measurement and

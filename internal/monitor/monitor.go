@@ -2,10 +2,19 @@
 // per-(KPI, database) queues fed by a collector at 5-second intervals, and
 // an online streaming judge that runs the flexible-window detection as
 // points arrive, waiting for more data whenever a round is "observable".
+//
+// Real collectors are lossy: points drop, rows arrive truncated, and whole
+// databases go silent mid-round. The monitor therefore runs a degraded-mode
+// ingestion layer: missing cells are recorded as explicit gaps (judged
+// through the gap-tolerant KCD path), databases whose recent gap ratio
+// exceeds a budget are auto-deactivated (and re-activated on recovery), and
+// a judgment round that loses its window resynchronizes and reports the
+// skipped range instead of wedging.
 package monitor
 
 import (
 	"fmt"
+	"math"
 	"sync"
 
 	"dbcatcher/internal/correlate"
@@ -19,11 +28,13 @@ import (
 // fixed-capacity rings sized to cover the maximum detection window. It is
 // safe for concurrent use.
 type Processor struct {
-	mu    sync.Mutex
-	kpis  int
-	dbs   int
-	rings [][]*timeseries.Ring
-	total int // points ingested since start
+	mu          sync.Mutex
+	kpis        int
+	dbs         int
+	rings       [][]*timeseries.Ring
+	total       int // points ingested since start
+	gapCells    int // cumulative gap cells recorded
+	missedTicks int // cumulative wholly-missed ticks
 }
 
 // NewProcessor allocates queues for the given shape; capacity is the ring
@@ -53,8 +64,29 @@ func (p *Processor) Ticks() int {
 	return p.total
 }
 
+// Oldest returns the absolute tick index of the oldest retained point (0
+// until the rings start evicting).
+func (p *Processor) Oldest() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.oldestLocked()
+}
+
+func (p *Processor) oldestLocked() int {
+	return p.total - p.rings[0][0].Len()
+}
+
+// GapStats returns the cumulative count of gap cells recorded and of
+// wholly-missed collection ticks.
+func (p *Processor) GapStats() (gapCells, missedTicks int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.gapCells, p.missedTicks
+}
+
 // Ingest adds one collection tick: sample[k][d] is KPI k's value on
-// database d.
+// database d. The shape must match exactly; NaN cells are recorded as
+// collector gaps. Use IngestDegraded when rows may be missing entirely.
 func (p *Processor) Ingest(sample [][]float64) error {
 	if len(sample) != p.kpis {
 		return fmt.Errorf("monitor: sample has %d KPI rows, want %d", len(sample), p.kpis)
@@ -69,27 +101,105 @@ func (p *Processor) Ingest(sample [][]float64) error {
 	for k, row := range sample {
 		for d, v := range row {
 			p.rings[k][d].Push(v)
+			if math.IsNaN(v) {
+				p.gapCells++
+			}
 		}
 	}
 	p.total++
 	return nil
 }
 
-// Window materializes the series covering the absolute tick range
-// [start, start+size) as a UnitSeries. It fails when the range has been
-// evicted from the rings or has not arrived yet.
-func (p *Processor) Window(start, size int) (*timeseries.UnitSeries, error) {
+// IngestDegraded adds one collection tick tolerating delivery faults: a nil
+// sample is a wholly-missed tick, missing KPI rows and truncated rows mark
+// their absent cells as gaps, and NaN cells are gaps. Oversized samples
+// (more rows than KPIs, or rows longer than the database count) still
+// error — shape excess is a pipeline bug, not data loss.
+//
+// It returns the number of gap cells recorded for this tick. When silent is
+// non-nil it must have one entry per database; silent[d] is set to whether
+// database d delivered no usable cell at all this tick.
+func (p *Processor) IngestDegraded(sample [][]float64, silent []bool) (gaps int, err error) {
+	if len(sample) > p.kpis {
+		return 0, fmt.Errorf("monitor: sample has %d KPI rows, want at most %d", len(sample), p.kpis)
+	}
+	for k, row := range sample {
+		if len(row) > p.dbs {
+			return 0, fmt.Errorf("monitor: KPI %d row has %d databases, want at most %d", k, len(row), p.dbs)
+		}
+	}
+	if silent != nil && len(silent) != p.dbs {
+		return 0, fmt.Errorf("monitor: silent scratch has %d entries for %d databases", len(silent), p.dbs)
+	}
+	for d := range silent {
+		silent[d] = true
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	for k := 0; k < p.kpis; k++ {
+		var row []float64
+		if k < len(sample) {
+			row = sample[k]
+		}
+		for d := 0; d < p.dbs; d++ {
+			if d < len(row) && !math.IsNaN(row[d]) {
+				p.rings[k][d].Push(row[d])
+				if silent != nil {
+					silent[d] = false
+				}
+				continue
+			}
+			p.rings[k][d].PushGap()
+			gaps++
+		}
+	}
+	p.gapCells += gaps
+	if gaps == p.kpis*p.dbs {
+		p.missedTicks++
+	}
+	p.total++
+	return gaps, nil
+}
+
+// WindowStats summarizes collector damage inside a materialized window.
+type WindowStats struct {
+	// Gaps is the total number of gap cells in the window.
+	Gaps int
+	// PerDB counts gap cells per database, summed across KPIs.
+	PerDB []int
+}
+
+// Window materializes the series covering the absolute tick range
+// [start, start+size) as a UnitSeries. Gap points read NaN (the
+// gap-tolerant correlation path repairs them). It fails when the range has
+// been evicted from the rings or has not arrived yet.
+func (p *Processor) Window(start, size int) (*timeseries.UnitSeries, error) {
+	u, _, err := p.window(start, size, false)
+	return u, err
+}
+
+// WindowWithStats is Window additionally reporting the gap cells inside the
+// materialized range.
+func (p *Processor) WindowWithStats(start, size int) (*timeseries.UnitSeries, WindowStats, error) {
+	return p.window(start, size, true)
+}
+
+func (p *Processor) window(start, size int, wantStats bool) (*timeseries.UnitSeries, WindowStats, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var stats WindowStats
 	if size <= 0 {
-		return nil, fmt.Errorf("monitor: non-positive window size %d", size)
+		return nil, stats, fmt.Errorf("monitor: non-positive window size %d", size)
 	}
 	if start+size > p.total {
-		return nil, fmt.Errorf("monitor: window [%d, %d) not yet collected (have %d)", start, start+size, p.total)
+		return nil, stats, fmt.Errorf("monitor: window [%d, %d) not yet collected (have %d)", start, start+size, p.total)
 	}
-	oldest := p.total - p.rings[0][0].Len()
+	oldest := p.oldestLocked()
 	if start < oldest {
-		return nil, fmt.Errorf("monitor: window start %d evicted (oldest %d)", start, oldest)
+		return nil, stats, fmt.Errorf("monitor: window start %d evicted (oldest %d)", start, oldest)
+	}
+	if wantStats {
+		stats.PerDB = make([]int, p.dbs)
 	}
 	u := timeseries.NewUnitSeries("live", p.kpis, p.dbs)
 	for k := 0; k < p.kpis; k++ {
@@ -101,9 +211,14 @@ func (p *Processor) Window(start, size int) (*timeseries.UnitSeries, error) {
 				vals[i] = ring.At(start - oldest + i)
 			}
 			u.Data[k][d].Values = vals
+			if wantStats {
+				g := ring.GapsInRange(start-oldest, size)
+				stats.Gaps += g
+				stats.PerDB[d] += g
+			}
 		}
 	}
-	return u, nil
+	return u, stats, nil
 }
 
 // Verdict augments a detection verdict with collection bookkeeping.
@@ -111,23 +226,95 @@ type Verdict struct {
 	detect.Verdict
 	// Tick is the absolute collection tick at which the round completed.
 	Tick int
+	// GapCells counts the collector gaps inside the judged window (for
+	// HealthSkipped verdicts it counts nothing — the range was not judged).
+	GapCells int
+}
+
+// DegradedConfig tunes the self-healing behaviour of the online judge.
+type DegradedConfig struct {
+	// GapBudget is the fraction of silent ticks within BudgetWindow beyond
+	// which a database is auto-deactivated. Default 0.5.
+	GapBudget float64
+	// BudgetWindow is the number of recent ticks over which the gap ratio
+	// is evaluated. Default: the flex config's maximum window.
+	BudgetWindow int
+	// RecoverTicks is the number of consecutive ticks with usable data a
+	// deactivated database must deliver before it is re-activated.
+	// Default: the flex config's initial window.
+	RecoverTicks int
+}
+
+func (c DegradedConfig) withDefaults(flex window.FlexConfig) DegradedConfig {
+	if c.GapBudget <= 0 {
+		c.GapBudget = 0.5
+	}
+	if c.BudgetWindow <= 0 {
+		c.BudgetWindow = flex.MaxWindow()
+	}
+	if c.RecoverTicks <= 0 {
+		c.RecoverTicks = flex.Initial
+	}
+	return c
+}
+
+// HealthStats is a snapshot of the degraded-mode bookkeeping.
+type HealthStats struct {
+	// GapCells and MissedTicks are cumulative ingestion-side counts.
+	GapCells    int
+	MissedTicks int
+	// Deactivations and Reactivations count automatic mask flips.
+	Deactivations int
+	Reactivations int
+	// DegradedVerdicts and SkippedRounds count downgraded judgment rounds.
+	DegradedVerdicts int
+	SkippedRounds    int
+	// AutoDeactivated marks databases currently benched by the gap budget.
+	AutoDeactivated []bool
+	// SilentRecent counts each database's silent ticks within the current
+	// budget window.
+	SilentRecent []int
 }
 
 // Online couples a Processor with the streaming judgment loop: push one
 // sample per tick and receive a verdict whenever a round resolves. When a
 // round is Observable, Online simply waits for Δ more points — the
 // "DBCatcher waits for data points" behaviour of §III-C.
+//
+// Online is safe for concurrent use: threshold/mask mutators may run while
+// a feeder goroutine pushes samples.
 type Online struct {
+	mu         sync.Mutex
 	cfg        detect.Config
+	dcfg       DegradedConfig
 	engine     *correlate.Engine
 	proc       *Processor
 	flex       *window.Flex
 	roundStart int
 	expansions int
+
+	// Degraded-mode state: the user-facing activation mask (SetActive),
+	// the automatic overlay derived from the gap budget, and the rolling
+	// per-database silent-tick accounting behind it.
+	userActive  []bool
+	autoDown    []bool
+	silentHist  [][]bool // ring of per-tick silent flags, BudgetWindow deep
+	histIdx     int
+	histFilled  int
+	silentCount []int // silent ticks per database within silentHist
+	cleanStreak []int // consecutive usable ticks per database
+	silentTick  []bool
+	effActive   []bool
+
+	deactivations    int
+	reactivations    int
+	degradedVerdicts int
+	skippedRounds    int
 }
 
 // NewOnline builds a streaming judge for the given shape. The processor's
-// ring capacity is sized to the maximum window automatically.
+// ring capacity is derived from the flex config's worst-case expansion
+// sequence, so a live round's window start can never be evicted.
 func NewOnline(cfg detect.Config, kpis, dbs int) (*Online, error) {
 	if cfg.Flex == (window.FlexConfig{}) {
 		cfg.Flex = window.DefaultFlexConfig()
@@ -142,38 +329,100 @@ func NewOnline(cfg detect.Config, kpis, dbs int) (*Online, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Capacity: the max window plus one expansion step of slack.
-	capacity := cfg.Flex.Max + cfg.Flex.Initial
-	return &Online{
-		cfg: cfg,
+	dcfg := DegradedConfig{}.withDefaults(cfg.Flex)
+	o := &Online{
+		cfg:  cfg,
+		dcfg: dcfg,
 		// One engine for the judge's lifetime: its scratch pool makes the
 		// steady-state per-tick correlation pass allocation-lean.
 		engine: cfg.Engine(),
-		proc:   NewProcessor(kpis, dbs, capacity),
+		proc:   NewProcessor(kpis, dbs, cfg.Flex.MaxWindow()),
 		flex:   flex,
-	}, nil
+	}
+	if cfg.Active != nil {
+		if len(cfg.Active) != dbs {
+			return nil, fmt.Errorf("monitor: active mask has %d entries for %d databases", len(cfg.Active), dbs)
+		}
+		o.userActive = append([]bool(nil), cfg.Active...)
+	}
+	o.initDegraded(dbs)
+	return o, nil
+}
+
+func (o *Online) initDegraded(dbs int) {
+	o.autoDown = make([]bool, dbs)
+	o.silentHist = make([][]bool, o.dcfg.BudgetWindow)
+	for i := range o.silentHist {
+		o.silentHist[i] = make([]bool, dbs)
+	}
+	o.histIdx = 0
+	o.histFilled = 0
+	o.silentCount = make([]int, dbs)
+	o.cleanStreak = make([]int, dbs)
+	o.silentTick = make([]bool, dbs)
+	o.effActive = make([]bool, dbs)
 }
 
 // Processor exposes the underlying queues (for inspection endpoints).
 func (o *Online) Processor() *Processor { return o.proc }
 
 // Thresholds returns the active judgment thresholds.
-func (o *Online) Thresholds() window.Thresholds { return o.cfg.Thresholds.Clone() }
+func (o *Online) Thresholds() window.Thresholds {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.cfg.Thresholds.Clone()
+}
+
+// SetDegraded overrides the self-healing configuration. Zero fields take
+// their defaults. It resets the rolling gap accounting, so call it before
+// streaming starts.
+func (o *Online) SetDegraded(dcfg DegradedConfig) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	dcfg = dcfg.withDefaults(o.cfg.Flex)
+	if dcfg.GapBudget >= 1 {
+		return fmt.Errorf("monitor: gap budget %v must be below 1", dcfg.GapBudget)
+	}
+	o.dcfg = dcfg
+	_, dbs := o.proc.Shape()
+	o.initDegraded(dbs)
+	return nil
+}
+
+// Health snapshots the degraded-mode counters.
+func (o *Online) Health() HealthStats {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	gapCells, missed := o.proc.GapStats()
+	return HealthStats{
+		GapCells:         gapCells,
+		MissedTicks:      missed,
+		Deactivations:    o.deactivations,
+		Reactivations:    o.reactivations,
+		DegradedVerdicts: o.degradedVerdicts,
+		SkippedRounds:    o.skippedRounds,
+		AutoDeactivated:  append([]bool(nil), o.autoDown...),
+		SilentRecent:     append([]int(nil), o.silentCount...),
+	}
+}
 
 // SetActive marks which databases currently participate (databases can be
 // "flexibly expanded" or reduced, §III-B/§III-C: an unused database does
 // not take part in the correlation level calculation and its scores read
-// as 0). nil re-activates all databases.
+// as 0). nil re-activates all databases. The gap budget's automatic
+// deactivations overlay this mask.
 func (o *Online) SetActive(active []bool) error {
 	_, dbs := o.proc.Shape()
 	if active != nil && len(active) != dbs {
 		return fmt.Errorf("monitor: active mask has %d entries for %d databases", len(active), dbs)
 	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	if active == nil {
-		o.cfg.Active = nil
+		o.userActive = nil
 		return nil
 	}
-	o.cfg.Active = append([]bool(nil), active...)
+	o.userActive = append(o.userActive[:0], active...)
 	return nil
 }
 
@@ -184,6 +433,8 @@ func (o *Online) SetPrimary(db int) error {
 	if db < 0 || db >= dbs {
 		return fmt.Errorf("monitor: primary %d out of %d databases", db, dbs)
 	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	o.cfg.Primary = db
 	return nil
 }
@@ -195,31 +446,148 @@ func (o *Online) SetThresholds(t window.Thresholds) error {
 	if err := t.Validate(kpis); err != nil {
 		return err
 	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	o.cfg.Thresholds = t.Clone()
 	return nil
 }
 
+// recordTick folds one tick's per-database silent flags into the rolling
+// budget accounting and flips the automatic activation overlay.
+func (o *Online) recordTick(silent []bool) {
+	_, dbs := o.proc.Shape()
+	slot := o.silentHist[o.histIdx]
+	for d := 0; d < dbs; d++ {
+		if o.histFilled == len(o.silentHist) && slot[d] {
+			o.silentCount[d]--
+		}
+		slot[d] = silent[d]
+		if silent[d] {
+			o.silentCount[d]++
+			o.cleanStreak[d] = 0
+		} else {
+			o.cleanStreak[d]++
+		}
+	}
+	o.histIdx = (o.histIdx + 1) % len(o.silentHist)
+	if o.histFilled < len(o.silentHist) {
+		o.histFilled++
+	}
+	budget := o.dcfg.GapBudget * float64(o.dcfg.BudgetWindow)
+	for d := 0; d < dbs; d++ {
+		switch {
+		case !o.autoDown[d] && float64(o.silentCount[d]) > budget:
+			o.autoDown[d] = true
+			o.deactivations++
+		// Re-activation needs the budget back under threshold too: right
+		// after an outage the rolling window still holds the old silent
+		// ticks, and a clean streak alone would flap deactivate/reactivate
+		// until they age out.
+		case o.autoDown[d] && o.cleanStreak[d] >= o.dcfg.RecoverTicks &&
+			float64(o.silentCount[d]) <= budget:
+			o.autoDown[d] = false
+			o.reactivations++
+		}
+	}
+}
+
+// effectiveActive merges the user mask with the automatic overlay. It
+// returns nil (all active) when neither masks anything; the returned slice
+// is a reused scratch valid until the next call.
+func (o *Online) effectiveActive() []bool {
+	masked := false
+	for d := range o.effActive {
+		a := (o.userActive == nil || o.userActive[d]) && !o.autoDown[d]
+		o.effActive[d] = a
+		if !a {
+			masked = true
+		}
+	}
+	if !masked {
+		return nil
+	}
+	return o.effActive
+}
+
+func countActive(active []bool, dbs int) int {
+	if active == nil {
+		return dbs
+	}
+	n := 0
+	for _, a := range active {
+		if a {
+			n++
+		}
+	}
+	return n
+}
+
+// skipVerdict emits a HealthSkipped verdict covering [start, start+size)
+// and resets the round machinery.
+func (o *Online) skipVerdict(start, size int) *Verdict {
+	v := &Verdict{Tick: o.proc.Ticks()}
+	v.Start = start
+	v.Size = size
+	v.AbnormalDB = -1
+	v.Expansions = o.expansions
+	v.Health = detect.HealthSkipped
+	o.flex.Reset()
+	o.expansions = 0
+	o.skippedRounds++
+	return v
+}
+
 // Push ingests one collection tick and, if enough points have accumulated
 // to finish the current judgment round, returns its verdict (nil
-// otherwise).
+// otherwise). A nil sample records a wholly-missed collection tick.
+//
+// Push never wedges: when a collector outage evicts the current round's
+// window start, the round is abandoned with a HealthSkipped verdict
+// covering the lost range and detection resynchronizes to the oldest
+// retained tick; when too few databases remain active to correlate, the
+// round is likewise skipped and the stream advances.
 func (o *Online) Push(sample [][]float64) (*Verdict, error) {
-	if err := o.proc.Ingest(sample); err != nil {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if _, err := o.proc.IngestDegraded(sample, o.silentTick); err != nil {
 		return nil, err
+	}
+	o.recordTick(o.silentTick)
+	// Self-heal: a round whose window start fell off the rings (e.g. the
+	// feeder outpaced a stalled judge, or ingestion bypassed Push) can
+	// never be judged; skip the lost range and resynchronize. The new
+	// round starts one past the oldest retained tick: once the rings are
+	// full, eviction advances one tick per push, so resyncing to exactly
+	// the oldest tick would lose the race and skip forever.
+	if oldest := o.proc.Oldest(); o.roundStart < oldest {
+		newStart := oldest + 1
+		v := o.skipVerdict(o.roundStart, newStart-o.roundStart)
+		o.roundStart = newStart
+		return v, nil
 	}
 	size := o.flex.Size()
 	if o.proc.Ticks() < o.roundStart+size {
 		return nil, nil // detection task blocked until the window fills
 	}
-	u, err := o.proc.Window(o.roundStart, size)
-	if err != nil {
-		return nil, err
-	}
 	kpis, dbs := o.proc.Shape()
-	mats, err := o.engine.BuildMatrices(u, 0, size, o.cfg.Active)
+	active := o.effectiveActive()
+	if countActive(active, dbs) < 2 {
+		// Correlation-based judgment needs at least one peer pair.
+		v := o.skipVerdict(o.roundStart, size)
+		o.roundStart += size
+		return v, nil
+	}
+	u, stats, err := o.proc.WindowWithStats(o.roundStart, size)
 	if err != nil {
 		return nil, err
 	}
-	states := detect.JudgeMatrices(mats, o.cfg, kpis, dbs)
+	mats, err := o.engine.BuildMatrices(u, 0, size, active)
+	if err != nil {
+		return nil, err
+	}
+	cfg := o.cfg
+	cfg.Active = active
+	states := detect.JudgeMatrices(mats, cfg, kpis, dbs)
 	round := detect.RoundState(states)
 	final, done := o.flex.Resolve(round)
 	if !done {
@@ -228,7 +596,7 @@ func (o *Online) Push(sample [][]float64) (*Verdict, error) {
 	}
 	exhausted := round == window.Observable && final == o.cfg.Flex.ExhaustState && !o.cfg.Flex.Disabled
 	finals := detect.FinalizeStates(states, o.cfg.Flex, exhausted)
-	v := &Verdict{Tick: o.proc.Ticks()}
+	v := &Verdict{Tick: o.proc.Ticks(), GapCells: stats.Gaps}
 	v.Start = o.roundStart
 	v.Size = size
 	v.Expansions = o.expansions
@@ -242,8 +610,21 @@ func (o *Online) Push(sample [][]float64) (*Verdict, error) {
 			}
 		}
 	}
+	if stats.Gaps > 0 || anyTrue(o.autoDown) {
+		v.Health = detect.HealthDegraded
+		o.degradedVerdicts++
+	}
 	o.roundStart += size
 	o.flex.Reset()
 	o.expansions = 0
 	return v, nil
+}
+
+func anyTrue(v []bool) bool {
+	for _, b := range v {
+		if b {
+			return true
+		}
+	}
+	return false
 }

@@ -1,6 +1,8 @@
 package monitor
 
 import (
+	"math"
+	"sync"
 	"testing"
 
 	"dbcatcher/internal/anomaly"
@@ -263,4 +265,291 @@ func TestOnlineSetActiveExcludesDatabase(t *testing.T) {
 	if err := o.SetActive(nil); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// --- Degraded-mode ingestion and self-healing tests ---
+
+func TestProcessorWindowBoundaries(t *testing.T) {
+	// Empty processor: nothing collected yet.
+	p := NewProcessor(1, 1, 4)
+	if _, err := p.Window(0, 1); err == nil {
+		t.Fatal("window on empty processor should fail")
+	}
+	for i := 0; i < 9; i++ { // ticks 0..8, capacity 4: ticks 5..8 retained
+		if err := p.Ingest([][]float64{{float64(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := p.Oldest(); got != 5 {
+		t.Fatalf("Oldest = %d, want 5", got)
+	}
+	// First-evicted tick: start one below oldest must fail.
+	if _, err := p.Window(4, 2); err == nil {
+		t.Fatal("window starting at first-evicted tick should fail")
+	}
+	// Exact fit: the full retained range is readable.
+	u, err := p.Window(5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Series(0, 0).At(0) != 5 || u.Series(0, 0).At(3) != 8 {
+		t.Fatalf("exact-fit window = %v", u.Series(0, 0).Values)
+	}
+	// One past the newest tick must fail.
+	if _, err := p.Window(6, 4); err == nil {
+		t.Fatal("window past newest tick should fail")
+	}
+}
+
+func TestProcessorIngestDegraded(t *testing.T) {
+	p := NewProcessor(3, 2, 8)
+	silent := make([]bool, 2)
+
+	// Complete tick: no gaps, nobody silent.
+	gaps, err := p.IngestDegraded([][]float64{{1, 2}, {3, 4}, {5, 6}}, silent)
+	if err != nil || gaps != 0 {
+		t.Fatalf("complete tick: gaps=%d err=%v", gaps, err)
+	}
+	if silent[0] || silent[1] {
+		t.Fatal("complete tick marked a database silent")
+	}
+
+	// Partial delivery: KPI row 1 truncated to one cell, KPI row 2 missing,
+	// and a NaN cell on KPI 0.
+	gaps, err = p.IngestDegraded([][]float64{{math.NaN(), 20}, {30}}, silent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gaps != 4 { // (0,0) NaN, (1,1) truncated, (2,0) and (2,1) missing row
+		t.Fatalf("partial tick gaps = %d, want 4", gaps)
+	}
+	if silent[0] || silent[1] {
+		t.Fatal("databases with some usable cells marked silent")
+	}
+
+	// Wholly-missed tick.
+	gaps, err = p.IngestDegraded(nil, silent)
+	if err != nil || gaps != 6 {
+		t.Fatalf("missed tick: gaps=%d err=%v", gaps, err)
+	}
+	if !silent[0] || !silent[1] {
+		t.Fatal("missed tick must mark every database silent")
+	}
+	if gapCells, missed := p.GapStats(); gapCells != 10 || missed != 1 {
+		t.Fatalf("GapStats = (%d, %d), want (10, 1)", gapCells, missed)
+	}
+	if p.Ticks() != 3 {
+		t.Fatalf("Ticks = %d", p.Ticks())
+	}
+
+	// Window stats see the damage.
+	u, stats, err := p.WindowWithStats(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Gaps != 10 {
+		t.Fatalf("window gaps = %d, want 10", stats.Gaps)
+	}
+	if stats.PerDB[0] != 5 || stats.PerDB[1] != 5 {
+		t.Fatalf("per-db gaps = %v", stats.PerDB)
+	}
+	if !math.IsNaN(u.Series(2, 0).At(1)) {
+		t.Fatal("gap cell must materialize as NaN")
+	}
+	if u.Series(0, 1).At(1) != 20 {
+		t.Fatal("delivered cell lost")
+	}
+
+	// Shape excess is still an error, not data loss.
+	if _, err := p.IngestDegraded([][]float64{{1, 2, 3}}, silent); err == nil {
+		t.Fatal("over-long row must be rejected")
+	}
+	if _, err := p.IngestDegraded([][]float64{{1}, {1}, {1}, {1}}, silent); err == nil {
+		t.Fatal("too many KPI rows must be rejected")
+	}
+	if _, err := p.IngestDegraded(nil, make([]bool, 5)); err == nil {
+		t.Fatal("wrong-length silent scratch must be rejected")
+	}
+}
+
+// scriptedMeasure returns level-2 scores for windows whose first value is
+// below 0.5 and level-3 scores otherwise, letting tests force Observable
+// rounds deterministically.
+func scriptedMeasure(x, _ []float64) float64 {
+	if x[0] < 0.5 {
+		return 0.5 // inside [alpha-theta, alpha) for the default 0.65/0.25
+	}
+	return 0.9
+}
+
+// The ring capacity derived from the flex config must survive a round that
+// expands all the way to the maximum window, with no eviction and no slack.
+func TestOnlineCapacityCoversMaxExpansion(t *testing.T) {
+	flex := window.FlexConfig{Initial: 4, Delta: 3, Max: 10, ExhaustState: window.Abnormal}
+	o, err := NewOnline(detect.Config{
+		Thresholds: window.DefaultThresholds(2),
+		Flex:       flex,
+		Measure:    scriptedMeasure,
+		Workers:    1,
+	}, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := o.Processor().rings[0][0].Cap(); got != flex.MaxWindow() {
+		t.Fatalf("ring capacity = %d, want MaxWindow %d", got, flex.MaxWindow())
+	}
+	// KPI 0 windows start at 0 (level-2 scores) -> every db observable ->
+	// the window expands 4 -> 7 -> 10 and exhausts at the derived maximum.
+	sample := [][]float64{{0, 0, 0}, {1, 1, 1}}
+	var verdicts []*Verdict
+	for tick := 0; tick < 20; tick++ {
+		v, err := o.Push(sample)
+		if err != nil {
+			t.Fatalf("tick %d: %v", tick, err)
+		}
+		if v != nil {
+			verdicts = append(verdicts, v)
+		}
+	}
+	if len(verdicts) != 2 {
+		t.Fatalf("verdicts = %d, want 2 full-expansion rounds in 20 ticks", len(verdicts))
+	}
+	for i, v := range verdicts {
+		if v.Size != flex.MaxWindow() || v.Expansions != 2 {
+			t.Fatalf("verdict %d: size=%d expansions=%d, want %d/2", i, v.Size, v.Expansions, flex.MaxWindow())
+		}
+		if !v.Abnormal || v.Health != detect.HealthOK {
+			t.Fatalf("verdict %d: exhaust state lost (%+v)", i, v.Verdict)
+		}
+	}
+	if verdicts[1].Start != flex.MaxWindow() {
+		t.Fatalf("round 2 start = %d", verdicts[1].Start)
+	}
+}
+
+// A collector outage that outruns the rings must not wedge Push: the lost
+// range is skipped once and detection resynchronizes.
+func TestOnlineResyncAfterEviction(t *testing.T) {
+	o, err := NewOnline(detect.Config{
+		Thresholds: window.DefaultThresholds(2),
+		Workers:    1,
+	}, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sample := [][]float64{{1, 1}, {2, 2}}
+	for i := 0; i < 5; i++ {
+		if _, err := o.Push(sample); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Bypass Push (a restarted judge, or ingestion behind its back) until
+	// tick 0 is long evicted.
+	for i := 0; i < 100; i++ {
+		if err := o.Processor().Ingest(sample); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cap := o.Processor().rings[0][0].Cap()
+	v, err := o.Push(sample)
+	if err != nil {
+		t.Fatalf("push after eviction errored: %v", err)
+	}
+	if v == nil || v.Health != detect.HealthSkipped {
+		t.Fatalf("expected a skipped verdict, got %+v", v)
+	}
+	wantSkip := 106 - cap + 1 // one past the oldest retained tick after 106 ingests
+	if v.Start != 0 || v.Size != wantSkip {
+		t.Fatalf("skipped range [%d, %d), want [0, %d)", v.Start, v.Start+v.Size, wantSkip)
+	}
+	// The judge must now make progress without ever erroring again.
+	var judged int
+	for i := 0; i < 100; i++ {
+		v, err := o.Push(sample)
+		if err != nil {
+			t.Fatalf("post-resync push %d errored: %v", i, err)
+		}
+		if v != nil {
+			if v.Health == detect.HealthSkipped {
+				t.Fatalf("second skip without a new outage: %+v", v)
+			}
+			judged++
+		}
+	}
+	if judged == 0 {
+		t.Fatal("no judged rounds after resync")
+	}
+	if h := o.Health(); h.SkippedRounds != 1 {
+		t.Fatalf("SkippedRounds = %d, want 1", h.SkippedRounds)
+	}
+}
+
+// Mutators must be safe against a concurrent feeder (run under -race).
+func TestOnlineMutatorsRaceWithPush(t *testing.T) {
+	u, err := cluster.Simulate(cluster.Config{
+		Name: "u", Ticks: 300, Seed: 77, Profile: workload.TencentIrregular,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := NewOnline(detect.Config{
+		Thresholds: window.DefaultThresholds(kpi.Count),
+		Workers:    1,
+	}, kpi.Count, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		th := o.Thresholds()
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			th.Theta = 0.2 + 0.001*float64(i%50)
+			if err := o.SetThresholds(th); err != nil {
+				t.Error(err)
+				return
+			}
+			_ = o.Thresholds()
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		masks := [][]bool{nil, {true, true, true, true, false}, {true, true, true, true, true}}
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if err := o.SetActive(masks[i%len(masks)]); err != nil {
+				t.Error(err)
+				return
+			}
+			_ = o.Health()
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if err := o.SetPrimary(i % 5); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	feedOnline(t, o, u)
+	close(done)
+	wg.Wait()
 }

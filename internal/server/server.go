@@ -43,9 +43,12 @@ type verdictJSON struct {
 	AbnormalDB int      `json:"abnormalDb"`
 	States     []string `json:"states"`
 	Expansions int      `json:"expansions"`
+	Health     string   `json:"health"`
+	GapCells   int      `json:"gapCells"`
 }
 
-// Push feeds one sample through the detector and records any verdict.
+// Push feeds one sample through the detector and records any verdict. A nil
+// sample records a wholly-missed collection tick.
 func (s *Server) Push(sample [][]float64) (*monitor.Verdict, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -62,6 +65,7 @@ func (s *Server) Push(sample [][]float64) (*monitor.Verdict, error) {
 			Tick: v.Tick, Start: v.Start, Size: v.Size,
 			Abnormal: v.Abnormal, AbnormalDB: v.AbnormalDB,
 			States: states, Expansions: v.Expansions,
+			Health: v.Health.String(), GapCells: v.GapCells,
 		})
 		if len(s.verdicts) > s.maxHist {
 			s.verdicts = s.verdicts[len(s.verdicts)-s.maxHist:]
@@ -106,6 +110,13 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 			abnormal++
 		}
 	}
+	h := s.online.Health()
+	deactivated := make([]int, 0, dbs)
+	for d, down := range h.AutoDeactivated {
+		if down {
+			deactivated = append(deactivated, d)
+		}
+	}
 	writeJSON(w, http.StatusOK, map[string]interface{}{
 		"unit":             s.unitName,
 		"kpis":             kpis,
@@ -113,6 +124,16 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		"ticksIngested":    s.online.Processor().Ticks(),
 		"verdicts":         len(s.verdicts),
 		"abnormalVerdicts": abnormal,
+		"health": map[string]interface{}{
+			"gapCells":         h.GapCells,
+			"missedTicks":      h.MissedTicks,
+			"deactivations":    h.Deactivations,
+			"reactivations":    h.Reactivations,
+			"degradedVerdicts": h.DegradedVerdicts,
+			"skippedRounds":    h.SkippedRounds,
+			"deactivated":      deactivated,
+			"silentRecent":     h.SilentRecent,
+		},
 	})
 }
 

@@ -215,3 +215,90 @@ func TestExplainEndpoint(t *testing.T) {
 		t.Fatalf("size = %d", out.Size)
 	}
 }
+
+func TestStatusHealthBlock(t *testing.T) {
+	s, ts := newTestServer(t)
+	u, err := cluster.Simulate(cluster.Config{
+		Name: "u", Ticks: 300, Seed: 7, Profile: workload.TencentIrregular,
+		FluctuationRate: 1e-9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := cluster.NewCollector(u.Series, workload.FaultPlan{
+		Seed:         5,
+		DropTickRate: 0.02,
+		DropCellRate: 0.01,
+		Silences:     []workload.Silence{{DB: 2, Start: 100, Length: 100}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawDegraded := false
+	for {
+		sample, ok := c.Next()
+		if !ok {
+			break
+		}
+		v, err := s.Push(sample)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != nil && v.Health != detect.HealthOK {
+			sawDegraded = true
+		}
+	}
+	if !sawDegraded {
+		t.Fatal("fault plan produced no degraded/skipped verdicts")
+	}
+
+	var status struct {
+		Health struct {
+			GapCells         int   `json:"gapCells"`
+			MissedTicks      int   `json:"missedTicks"`
+			Deactivations    int   `json:"deactivations"`
+			Reactivations    int   `json:"reactivations"`
+			DegradedVerdicts int   `json:"degradedVerdicts"`
+			SkippedRounds    int   `json:"skippedRounds"`
+			Deactivated      []int `json:"deactivated"`
+			SilentRecent     []int `json:"silentRecent"`
+		} `json:"health"`
+	}
+	getJSON(t, ts.URL+"/api/status", &status)
+	h := status.Health
+	if h.GapCells == 0 || h.MissedTicks == 0 {
+		t.Fatalf("health block missing gap accounting: %+v", h)
+	}
+	if h.Deactivations < 1 || h.Reactivations < 1 {
+		t.Fatalf("silent db not benched+recovered in health block: %+v", h)
+	}
+	if h.DegradedVerdicts == 0 {
+		t.Fatalf("degradedVerdicts not surfaced: %+v", h)
+	}
+	if len(h.Deactivated) != 0 {
+		t.Fatalf("recovered unit still lists benched dbs: %v", h.Deactivated)
+	}
+	if len(h.SilentRecent) != 5 {
+		t.Fatalf("silentRecent should have one slot per db: %v", h.SilentRecent)
+	}
+
+	// Verdict JSON carries the health fields through the wire format.
+	var verdicts []map[string]interface{}
+	getJSON(t, ts.URL+"/api/verdicts?limit=500", &verdicts)
+	sawHealthField := false
+	for _, v := range verdicts {
+		hv, ok := v["health"].(string)
+		if !ok {
+			t.Fatalf("verdict missing health field: %v", v)
+		}
+		if _, ok := v["gapCells"].(float64); !ok {
+			t.Fatalf("verdict missing gapCells field: %v", v)
+		}
+		if hv == "degraded" || hv == "skipped" {
+			sawHealthField = true
+		}
+	}
+	if !sawHealthField {
+		t.Fatal("no degraded/skipped verdict crossed the JSON API")
+	}
+}

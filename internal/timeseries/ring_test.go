@@ -1,6 +1,7 @@
 package timeseries
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 
@@ -68,6 +69,97 @@ func TestNewRingPanicsOnZero(t *testing.T) {
 		}
 	}()
 	NewRing(0)
+}
+
+func TestRingGapMarking(t *testing.T) {
+	r := NewRing(4)
+	r.Push(1)
+	r.PushGap()
+	r.Push(math.NaN()) // NaN auto-marks a gap
+	r.Push(2)
+	if r.GapCount() != 2 {
+		t.Fatalf("GapCount = %d, want 2", r.GapCount())
+	}
+	if r.IsGap(0) || !r.IsGap(1) || !r.IsGap(2) || r.IsGap(3) {
+		t.Fatal("gap flags wrong")
+	}
+	if !math.IsNaN(r.At(1)) || !math.IsNaN(r.At(2)) {
+		t.Fatal("gap slots must read NaN")
+	}
+	if got := r.GapsInRange(1, 2); got != 2 {
+		t.Fatalf("GapsInRange(1,2) = %d", got)
+	}
+	if got := r.GapsInRange(0, 1); got != 0 {
+		t.Fatalf("GapsInRange(0,1) = %d", got)
+	}
+}
+
+func TestRingGapEvictionAccounting(t *testing.T) {
+	r := NewRing(2)
+	r.PushGap()
+	r.PushGap()
+	if r.GapCount() != 2 {
+		t.Fatalf("GapCount = %d", r.GapCount())
+	}
+	// Evicting a gap with a value must decrement; evicting a value with a
+	// gap must keep the count balanced.
+	r.Push(5)
+	if r.GapCount() != 1 {
+		t.Fatalf("after evicting one gap GapCount = %d", r.GapCount())
+	}
+	r.Push(6)
+	if r.GapCount() != 0 {
+		t.Fatalf("after evicting both gaps GapCount = %d", r.GapCount())
+	}
+	r.PushGap()
+	if r.GapCount() != 1 || !r.IsGap(1) || r.IsGap(0) {
+		t.Fatal("gap flag misplaced after wraparound")
+	}
+	r.Reset()
+	if r.GapCount() != 0 {
+		t.Fatal("Reset must clear gap count")
+	}
+}
+
+// Eviction boundary: the first evicted tick is exactly Len ticks behind the
+// total push count, and the exact-fit window covering every retained point
+// is readable.
+func TestRingEvictionBoundary(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 9; i++ { // ticks 0..8; 5..8 retained
+		r.Push(float64(i))
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	if r.At(0) != 5 {
+		t.Fatalf("oldest retained = %v, want 5 (tick 4 first-evicted)", r.At(0))
+	}
+	if got := r.Last(4); !mathx.EqualApprox(got, []float64{5, 6, 7, 8}, 0) {
+		t.Fatalf("exact-fit window = %v", got)
+	}
+	if got := r.GapsInRange(0, r.Len()); got != 0 {
+		t.Fatalf("gapless ring reports %d gaps", got)
+	}
+}
+
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(3)
+	if r.Len() != 0 || r.GapCount() != 0 {
+		t.Fatal("empty ring not empty")
+	}
+	if got := r.Last(2); len(got) != 0 {
+		t.Fatalf("Last on empty = %v", got)
+	}
+	if got := r.GapsInRange(0, 0); got != 0 {
+		t.Fatalf("empty range gaps = %d", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("IsGap on empty ring must panic")
+		}
+	}()
+	r.IsGap(0)
 }
 
 // Property: after any push sequence the ring holds exactly the suffix of the

@@ -46,6 +46,27 @@ func (c FlexConfig) delta() int {
 	return c.Delta
 }
 
+// MaxWindow returns the largest window size a judgment round can actually
+// reach under this configuration: the last element of the expansion
+// sequence W, W+Δ, W+2Δ, ... that does not exceed Max. Ring buffers sized
+// to this value can never evict a live round's window start — Resolve
+// refuses to grow past Max, so no round ever needs more than MaxWindow
+// retained points.
+func (c FlexConfig) MaxWindow() int {
+	if c.Disabled {
+		return c.Initial
+	}
+	d := c.delta()
+	if d <= 0 {
+		return c.Initial
+	}
+	steps := (c.Max - c.Initial) / d
+	if steps < 0 {
+		steps = 0
+	}
+	return c.Initial + steps*d
+}
+
 // Flex tracks one in-flight judgment round: the current window size and
 // whether another expansion is allowed.
 type Flex struct {

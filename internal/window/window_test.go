@@ -256,3 +256,43 @@ func TestScoreToLevelMonotoneProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestFlexConfigMaxWindow(t *testing.T) {
+	cases := []struct {
+		cfg  FlexConfig
+		want int
+	}{
+		{DefaultFlexConfig(), 60},                          // 20 + 2*20
+		{FlexConfig{Initial: 15, Max: 75}, 75},             // delta defaults to 15
+		{FlexConfig{Initial: 20, Delta: 15, Max: 60}, 50},  // 20,35,50; 65 > 60
+		{FlexConfig{Initial: 25, Delta: 25, Max: 45}, 25},  // first expansion overshoots
+		{FlexConfig{Initial: 20, Max: 20}, 20},             // no headroom
+		{FlexConfig{Initial: 20, Max: 60, Disabled: true}, 20},
+	}
+	for _, tc := range cases {
+		if got := tc.cfg.MaxWindow(); got != tc.want {
+			t.Errorf("MaxWindow(%+v) = %d, want %d", tc.cfg, got, tc.want)
+		}
+	}
+	// MaxWindow must agree with what Flex actually reaches.
+	for _, tc := range cases {
+		if tc.cfg.Validate() != nil {
+			continue
+		}
+		f, err := NewFlex(tc.cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last := f.Size()
+		for {
+			_, done := f.Resolve(Observable)
+			if done {
+				break
+			}
+			last = f.Size()
+		}
+		if last != tc.cfg.MaxWindow() {
+			t.Errorf("%+v: flex reached %d, MaxWindow says %d", tc.cfg, last, tc.cfg.MaxWindow())
+		}
+	}
+}

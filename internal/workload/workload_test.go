@@ -251,3 +251,85 @@ func TestDriftGeneratorBlends(t *testing.T) {
 		}
 	}
 }
+
+func TestFaultPlanValidate(t *testing.T) {
+	good := FaultPlan{DropTickRate: 0.1, DropCellRate: 0.2, PartialRowRate: 0.3, StaleRate: 0.4,
+		Silences: []Silence{{DB: 1, Start: 5, Length: 10}}}
+	if err := good.Validate(14, 5); err != nil {
+		t.Fatal(err)
+	}
+	if good.IsZero() {
+		t.Fatal("plan with faults reports IsZero")
+	}
+	if !(FaultPlan{Seed: 42}).IsZero() {
+		t.Fatal("seed-only plan must be zero")
+	}
+	bad := []FaultPlan{
+		{DropTickRate: -0.1},
+		{DropCellRate: 1.1},
+		{Silences: []Silence{{DB: 5, Start: 0, Length: 1}}},
+		{Silences: []Silence{{DB: 0, Start: -1, Length: 1}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(14, 5); err == nil {
+			t.Errorf("bad plan %d accepted", i)
+		}
+	}
+	if err := good.Validate(0, 5); err == nil {
+		t.Error("zero-KPI shape accepted")
+	}
+}
+
+func TestSilenceCovers(t *testing.T) {
+	s := Silence{DB: 0, Start: 10, Length: 5}
+	for _, tc := range []struct {
+		t    int
+		want bool
+	}{{9, false}, {10, true}, {14, true}, {15, false}} {
+		if got := s.Covers(tc.t); got != tc.want {
+			t.Errorf("Covers(%d) = %v", tc.t, got)
+		}
+	}
+}
+
+func TestInjectorDeterministicAndScheduled(t *testing.T) {
+	plan := FaultPlan{Seed: 9, DropTickRate: 0.2, DropCellRate: 0.1, PartialRowRate: 0.1, StaleRate: 0.1,
+		Silences: []Silence{{DB: 2, Start: 3, Length: 4}}}
+	a, err := plan.NewInjector(4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := plan.NewInjector(4, 5)
+	sawDrop, sawCut, sawCell, sawStale := false, false, false, false
+	for tick := 0; tick < 200; tick++ {
+		fa := a.Next()
+		fb := b.Next()
+		if fa.Dropped != fb.Dropped || fa.Stale != fb.Stale {
+			t.Fatalf("tick %d: tick-level divergence", tick)
+		}
+		sawDrop = sawDrop || fa.Dropped
+		sawStale = sawStale || fa.Stale
+		for k := 0; k < 4; k++ {
+			if fa.RowLen[k] != fb.RowLen[k] {
+				t.Fatalf("tick %d: row-length divergence", tick)
+			}
+			sawCut = sawCut || fa.RowLen[k] < 5
+			for d := 0; d < 5; d++ {
+				if fa.CellGap[k][d] != fb.CellGap[k][d] {
+					t.Fatalf("tick %d: cell divergence", tick)
+				}
+				sawCell = sawCell || fa.CellGap[k][d]
+			}
+			// Scheduled silence always gaps its database.
+			if tick >= 3 && tick < 7 && !fa.CellGap[k][2] {
+				t.Fatalf("tick %d: silence not applied", tick)
+			}
+		}
+	}
+	if !sawDrop || !sawCut || !sawCell || !sawStale {
+		t.Fatalf("channels unexercised: drop=%v cut=%v cell=%v stale=%v", sawDrop, sawCut, sawCell, sawStale)
+	}
+	if a.Tick() != 200 {
+		t.Fatalf("Tick = %d", a.Tick())
+	}
+}
