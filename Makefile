@@ -3,7 +3,10 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench bench-baseline check
+.PHONY: build test race vet bench bench-baseline check fuzz
+
+# Per-target budget for `make fuzz` (the CI smoke job uses the default).
+FUZZTIME ?= 30s
 
 build:
 	$(GO) build ./...
@@ -26,5 +29,11 @@ bench:
 # committing: ns/op moves with the host, allocs/op should not.
 bench-baseline:
 	$(GO) run ./cmd/bench -o BENCH_core.json -benchtime 1s
+
+# Fuzz the two untrusted-input decoders: the tracefile reader and the WAL
+# record decoder. Each target gets $(FUZZTIME).
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzRead -fuzztime $(FUZZTIME) ./internal/tracefile
+	$(GO) test -run '^$$' -fuzz FuzzDecodeRecord -fuzztime $(FUZZTIME) ./internal/store
 
 check: build vet test

@@ -30,6 +30,7 @@ import (
 	"dbcatcher/internal/detect"
 	"dbcatcher/internal/kpi"
 	"dbcatcher/internal/mathx"
+	"dbcatcher/internal/store"
 	"dbcatcher/internal/window"
 	"dbcatcher/internal/workload"
 )
@@ -171,6 +172,72 @@ func main() {
 			}
 		}))
 	}
+
+	// Durable-state paths: the WAL append (per-verdict persistence cost,
+	// no fsync so the framing/encode cost is what's measured) and a full
+	// recovery of a populated data directory.
+	add(measure("wal/append", func(b *testing.B) {
+		dir, err := os.MkdirTemp("", "dbcatcher-bench-wal")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		st, _, err := store.Open(dir, store.Options{Fsync: store.FsyncNever})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer st.Close()
+		rec := store.VerdictRecord{
+			Tick: 60, Start: 0, Size: 60, AbnormalDB: -1,
+			States: []uint8{0, 0, 0, 0, 0},
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rec.Tick = i
+			if _, err := st.AppendVerdict(rec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	add(measure("wal/recovery", func(b *testing.B) {
+		dir, err := os.MkdirTemp("", "dbcatcher-bench-rec")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		st, _, err := store.Open(dir, store.Options{Fsync: store.FsyncNever})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < 1000; i++ {
+			if _, err := st.AppendVerdict(store.VerdictRecord{
+				Tick: i, Size: 60, AbnormalDB: -1, States: []uint8{0, 0, 0, 0, 0},
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := st.WriteSnapshot(store.SnapshotState{Seq: 500}); err != nil {
+			b.Fatal(err)
+		}
+		if err := st.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			st, rec, err := store.Open(dir, store.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(rec.Records) == 0 {
+				b.Fatal("recovery surfaced no records")
+			}
+			if err := st.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
 
 	rep.BuildSpeedupParallel = serialScratch.NsPerOp / parallelScratch.NsPerOp
 	rep.BuildAllocReduction = float64(serialAlloc.AllocsPerOp) / float64(serialScratch.AllocsPerOp)

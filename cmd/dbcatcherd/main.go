@@ -1,17 +1,25 @@
 // Command dbcatcherd is the online monitoring daemon: it simulates a
 // cloud-database unit (with optional injected anomalies), streams its KPI
-// samples through the DBCatcher detector, and serves status, verdicts, and
-// thresholds over HTTP.
+// samples through the DBCatcher detector, and serves status, verdicts,
+// thresholds, and DBA feedback over HTTP.
+//
+// With -data-dir the detector's state is durable: verdicts, feedback
+// records, and threshold swaps are written to a CRC-checked WAL and the
+// judge's full state to atomic snapshots, so a restart resumes detection
+// one past the last persisted tick instead of resetting to factory
+// thresholds. SIGTERM/SIGINT flush a final snapshot before exit.
 //
 // Usage:
 //
-//	dbcatcherd -addr :8080 -profile tencent-irregular -speedup 100
+//	dbcatcherd -addr :8080 -profile tencent-irregular -speedup 100 \
+//	    -data-dir /var/lib/dbcatcher -fsync-policy interval
 //
 // Then:
 //
 //	curl localhost:8080/api/status
 //	curl localhost:8080/api/verdicts?limit=10
 //	curl localhost:8080/api/thresholds
+//	curl -X POST localhost:8080/api/feedback -d '{"start":0,"size":20,"predicted":false,"actual":false}'
 package main
 
 import (
@@ -19,16 +27,21 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"dbcatcher/internal/anomaly"
 	"dbcatcher/internal/cluster"
 	"dbcatcher/internal/detect"
+	"dbcatcher/internal/feedback"
 	"dbcatcher/internal/kpi"
 	"dbcatcher/internal/mathx"
 	"dbcatcher/internal/monitor"
 	"dbcatcher/internal/server"
+	"dbcatcher/internal/store"
 	"dbcatcher/internal/window"
 	"dbcatcher/internal/workload"
 )
@@ -51,6 +64,10 @@ func main() {
 		faultPartial  = flag.Float64("fault-partial-row", 0, "per-KPI probability a row arrives truncated")
 		faultStale    = flag.Float64("fault-stale", 0, "probability a tick is re-delivered stale")
 		faultSilences = flag.String("fault-silence", "", "scheduled database outages as db:start:length[,db:start:length...]")
+
+		dataDir     = flag.String("data-dir", "", "durable state directory (empty = in-memory only)")
+		fsyncPolicy = flag.String("fsync-policy", "interval", "WAL durability: always, interval, never")
+		snapEvery   = flag.Int("snapshot-every", 1, "verdicts between state snapshots (threshold swaps always snapshot)")
 	)
 	flag.Parse()
 
@@ -112,12 +129,81 @@ func main() {
 	}
 	srv := server.New(online, "live", 512)
 
+	// Durable state: recover whatever a previous run persisted, attach
+	// the WAL/snapshot bridge, and resume detection one past the last
+	// persisted tick. Without -data-dir everything stays in memory and
+	// the detection path is unchanged.
+	resume := 0
+	fbCap := 512
+	var fb *feedback.Store
+	var pers *store.Persister
+	var st *store.Store
+	if *dataDir != "" {
+		policy, err := store.ParsePolicy(*fsyncPolicy)
+		if err != nil {
+			log.Fatalf("dbcatcherd: %v", err)
+		}
+		var rec *store.Recovered
+		st, rec, err = store.Open(*dataDir, store.Options{Fsync: policy})
+		if err != nil {
+			log.Fatalf("dbcatcherd: %v", err)
+		}
+		if ms := rec.MonitorState(); ms != nil {
+			if err := online.RestoreState(ms); err != nil {
+				log.Printf("recovery: cannot resume detector state (%v); starting fresh", err)
+			} else {
+				resume = rec.ResumeTick()
+			}
+		} else if th := rec.LatestThresholds(); th != nil {
+			if err := online.SetThresholds(*th); err != nil {
+				log.Printf("recovery: persisted thresholds rejected: %v", err)
+			}
+		}
+		fb = feedback.NewStoreFrom(fbCap, rec.FeedbackRecords())
+		srv.RestoreHistory(rec.VerdictHistory())
+		pers = store.NewPersister(st, rec, fb, *snapEvery)
+		online.SetPersister(pers)
+		fb.SetJournal(pers)
+		srv.SetPersistence(pers.Status)
+		m := st.Metrics()
+		log.Printf("durable state: dir=%s fsync=%s recovered %d records (resume tick %d, torn tail %v)",
+			*dataDir, policy, m.RecoveredRecords, resume, m.TornTail)
+	} else {
+		fb = feedback.NewStore(fbCap)
+	}
+	srv.SetFeedback(fb)
+	if resume >= *horizon {
+		log.Printf("recovered state already covers the %d-tick horizon; serving history only", *horizon)
+	}
+
+	// Fast-forward the deterministic collector to the resume point so
+	// the re-fed stream is tick-aligned with the persisted state.
+	for i := 0; i < resume; i++ {
+		if _, ok := collector.Next(); !ok {
+			break
+		}
+	}
+	if *foTick > 0 && *foTick <= resume {
+		if err := online.SetPrimary(*foTarget); err != nil {
+			log.Printf("failover: %v", err)
+		}
+	}
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+
 	// Feeder: replay the simulated unit's lossy collection stream at the
 	// configured speed. The degraded-mode monitor accepts nil and partial
 	// samples, so faults degrade verdicts instead of stopping the feeder.
 	go func() {
+		defer close(done)
 		interval := time.Duration(float64(5*time.Second) / *speedup)
-		for tick := 0; tick < *horizon; tick++ {
+		for tick := resume; tick < *horizon; tick++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
 			if *foTick > 0 && tick == *foTick {
 				// The detector follows the promotion so R-R KPIs are
 				// judged against the correct peer set.
@@ -160,8 +246,35 @@ func main() {
 			h.GapCells, h.MissedTicks, h.DegradedVerdicts, h.SkippedRounds, h.Deactivations, h.Reactivations)
 	}()
 
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	go func() {
+		// Graceful shutdown: stop the feeder, flush a final snapshot so
+		// the next boot resumes exactly here, then close the listener.
+		sigc := make(chan os.Signal, 1)
+		signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+		sig := <-sigc
+		log.Printf("received %v: flushing durable state", sig)
+		close(stop)
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			log.Printf("feeder did not drain in time")
+		}
+		if pers != nil {
+			if err := pers.Flush(online); err != nil {
+				log.Printf("flush: %v", err)
+			}
+		}
+		if st != nil {
+			if err := st.Close(); err != nil {
+				log.Printf("close: %v", err)
+			}
+		}
+		_ = httpSrv.Close()
+	}()
+
 	log.Printf("listening on %s", *addr)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		log.Fatalf("dbcatcherd: %v", err)
 	}
 }

@@ -26,13 +26,22 @@ type Record struct {
 	Actual bool
 }
 
+// Journal receives every appended record for durable storage (the WAL in
+// internal/store implements it). JournalRecord is called with the store's
+// mutex held, in append order; implementations must not call back into the
+// Store.
+type Journal interface {
+	JournalRecord(Record)
+}
+
 // Store keeps the most recent judgment records in a bounded ring. It is
 // safe for concurrent use.
 type Store struct {
-	mu   sync.Mutex
-	recs []Record
-	head int
-	size int
+	mu      sync.Mutex
+	recs    []Record
+	head    int
+	size    int
+	journal Journal
 }
 
 // NewStore returns a store holding up to capacity records.
@@ -43,10 +52,40 @@ func NewStore(capacity int) *Store {
 	return &Store{recs: make([]Record, capacity)}
 }
 
-// Add appends a record, evicting the oldest when full.
+// NewStoreFrom returns a store preloaded with previously persisted records
+// (oldest first, e.g. recovered from a snapshot + WAL replay); only the
+// most recent capacity records are kept. Preloading does not journal.
+func NewStoreFrom(capacity int, recs []Record) *Store {
+	s := NewStore(capacity)
+	if len(recs) > capacity {
+		recs = recs[len(recs)-capacity:]
+	}
+	for _, r := range recs {
+		s.add(r)
+	}
+	return s
+}
+
+// SetJournal attaches (or, with nil, detaches) the durable journal. Attach
+// it before streaming starts; records appended earlier are not replayed
+// into it.
+func (s *Store) SetJournal(j Journal) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.journal = j
+}
+
+// Add appends a record, evicting the oldest when full, and journals it.
 func (s *Store) Add(r Record) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.add(r)
+	if s.journal != nil {
+		s.journal.JournalRecord(r)
+	}
+}
+
+func (s *Store) add(r Record) {
 	if s.size < len(s.recs) {
 		s.recs[(s.head+s.size)%len(s.recs)] = r
 		s.size++
@@ -74,6 +113,18 @@ func (s *Store) Recent(n int) []Record {
 	start := s.size - n
 	for i := 0; i < n; i++ {
 		out[i] = s.recs[(s.head+start+i)%len(s.recs)]
+	}
+	return out
+}
+
+// Snapshot returns all stored records, oldest first (the persistence
+// layer's point-in-time capture).
+func (s *Store) Snapshot() []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Record, s.size)
+	for i := 0; i < s.size; i++ {
+		out[i] = s.recs[(s.head+i)%len(s.recs)]
 	}
 	return out
 }

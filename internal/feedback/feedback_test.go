@@ -139,3 +139,152 @@ func TestLearnerRelearnNoSamples(t *testing.T) {
 		t.Fatal("no samples should error")
 	}
 }
+
+// --- Eviction boundary and persistence-integration tests ---
+
+func TestStoreCapacityOne(t *testing.T) {
+	s := NewStore(1)
+	if got := s.Snapshot(); len(got) != 0 {
+		t.Fatalf("empty store snapshot = %v", got)
+	}
+	for i := 0; i < 4; i++ {
+		s.Add(Record{Start: i})
+		if s.Len() != 1 {
+			t.Fatalf("after add %d: Len = %d", i, s.Len())
+		}
+		recent := s.Recent(5)
+		if len(recent) != 1 || recent[0].Start != i {
+			t.Fatalf("after add %d: Recent = %v", i, recent)
+		}
+		snap := s.Snapshot()
+		if len(snap) != 1 || snap[0].Start != i {
+			t.Fatalf("after add %d: Snapshot = %v", i, snap)
+		}
+	}
+}
+
+func TestStoreWraparoundOrdering(t *testing.T) {
+	s := NewStore(4)
+	// Push enough to wrap several times; the ring must always surface the
+	// newest 4 in append order.
+	for i := 0; i < 11; i++ {
+		s.Add(Record{Start: i, Predicted: i%2 == 0})
+		want := i + 1
+		if want > 4 {
+			want = 4
+		}
+		snap := s.Snapshot()
+		if len(snap) != want {
+			t.Fatalf("after add %d: %d records, want %d", i, len(snap), want)
+		}
+		for j, r := range snap {
+			if r.Start != i-want+1+j {
+				t.Fatalf("after add %d: snapshot order %v", i, snap)
+			}
+		}
+	}
+	// Recent(n) is the suffix of Snapshot().
+	recent := s.Recent(2)
+	if len(recent) != 2 || recent[0].Start != 9 || recent[1].Start != 10 {
+		t.Fatalf("Recent(2) = %v", recent)
+	}
+}
+
+func TestNewStoreFromTruncatesToCapacity(t *testing.T) {
+	recs := make([]Record, 7)
+	for i := range recs {
+		recs[i] = Record{Start: i}
+	}
+	s := NewStoreFrom(3, recs)
+	snap := s.Snapshot()
+	if len(snap) != 3 || snap[0].Start != 4 || snap[2].Start != 6 {
+		t.Fatalf("preload kept %v, want the newest 3", snap)
+	}
+	// Preloading under capacity keeps everything.
+	s2 := NewStoreFrom(10, recs[:2])
+	if got := s2.Snapshot(); len(got) != 2 || got[0].Start != 0 {
+		t.Fatalf("under-capacity preload = %v", got)
+	}
+	// A preloaded store keeps accepting appends with correct eviction.
+	s.Add(Record{Start: 99})
+	snap = s.Snapshot()
+	if len(snap) != 3 || snap[2].Start != 99 || snap[0].Start != 5 {
+		t.Fatalf("append after preload = %v", snap)
+	}
+}
+
+// captureJournal records journaled entries; it must see every Add exactly
+// once, in order, and nothing from preloads.
+type captureJournal struct {
+	mu   sync.Mutex
+	recs []Record
+}
+
+func (j *captureJournal) JournalRecord(r Record) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.recs = append(j.recs, r)
+}
+
+func TestStoreJournalSeesAppendsNotPreloads(t *testing.T) {
+	j := &captureJournal{}
+	s := NewStoreFrom(2, []Record{{Start: 100}, {Start: 101}})
+	s.SetJournal(j)
+	for i := 0; i < 5; i++ {
+		s.Add(Record{Start: i})
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if len(j.recs) != 5 {
+		t.Fatalf("journal saw %d records, want 5", len(j.recs))
+	}
+	for i, r := range j.recs {
+		if r.Start != i {
+			t.Fatalf("journal order: %v", j.recs)
+		}
+	}
+}
+
+// Concurrent Append/Snapshot/Recent must be race-free (run under -race) and
+// every snapshot must be internally consistent: monotonically increasing
+// Start values with no gaps larger than the writer's progress allows.
+func TestStoreConcurrentAppendSnapshot(t *testing.T) {
+	s := NewStore(8)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			snap := s.Snapshot()
+			for i := 1; i < len(snap); i++ {
+				if snap[i].Start != snap[i-1].Start+1 {
+					t.Errorf("torn snapshot: %v", snap)
+					return
+				}
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			_ = s.Recent(3)
+			_ = s.Len()
+		}
+	}()
+	for i := 0; i < 5000; i++ {
+		s.Add(Record{Start: i})
+	}
+	close(done)
+	wg.Wait()
+}

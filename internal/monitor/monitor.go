@@ -310,6 +310,9 @@ type Online struct {
 	reactivations    int
 	degradedVerdicts int
 	skippedRounds    int
+
+	// persister, when set, receives durable-state hooks (see persist.go).
+	persister Persister
 }
 
 // NewOnline builds a streaming judge for the given shape. The processor's
@@ -393,6 +396,10 @@ func (o *Online) SetDegraded(dcfg DegradedConfig) error {
 func (o *Online) Health() HealthStats {
 	o.mu.Lock()
 	defer o.mu.Unlock()
+	return o.healthLocked()
+}
+
+func (o *Online) healthLocked() HealthStats {
 	gapCells, missed := o.proc.GapStats()
 	return HealthStats{
 		GapCells:         gapCells,
@@ -449,6 +456,11 @@ func (o *Online) SetThresholds(t window.Thresholds) error {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	o.cfg.Thresholds = t.Clone()
+	if o.persister != nil {
+		// Persist under the same mutex that guards Push: the durable
+		// order of threshold records matches the order rounds saw them.
+		o.persister.PersistThresholds(o.cfg.Thresholds.Clone(), PersistContext{o})
+	}
 	return nil
 }
 
@@ -549,6 +561,14 @@ func (o *Online) skipVerdict(start, size int) *Verdict {
 func (o *Online) Push(sample [][]float64) (*Verdict, error) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
+	v, err := o.pushLocked(sample)
+	if v != nil && o.persister != nil {
+		o.persister.PersistVerdict(v, PersistContext{o})
+	}
+	return v, err
+}
+
+func (o *Online) pushLocked(sample [][]float64) (*Verdict, error) {
 	if _, err := o.proc.IngestDegraded(sample, o.silentTick); err != nil {
 		return nil, err
 	}

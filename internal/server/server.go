@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"dbcatcher/internal/detect"
+	"dbcatcher/internal/feedback"
 	"dbcatcher/internal/kpi"
 	"dbcatcher/internal/monitor"
 	"dbcatcher/internal/window"
@@ -24,6 +25,14 @@ type Server struct {
 	verdicts []verdictJSON // bounded history, newest last
 	maxHist  int
 	unitName string
+	// restoredThrough is the newest verdict tick loaded via
+	// RestoreHistory; Push drops regenerated verdicts at or below it
+	// (they are already in the buffer).
+	restoredThrough int
+	// persistence, when set, contributes a block to /api/status.
+	persistence func() interface{}
+	// fb, when set, backs the /api/feedback DBA-marking endpoint.
+	fb *feedback.Store
 }
 
 // New wraps the online detector. maxHistory bounds the verdict buffer
@@ -32,7 +41,53 @@ func New(o *monitor.Online, unitName string, maxHistory int) *Server {
 	if maxHistory <= 0 {
 		maxHistory = 256
 	}
-	return &Server{online: o, maxHist: maxHistory, unitName: unitName}
+	return &Server{online: o, maxHist: maxHistory, unitName: unitName, restoredThrough: -1}
+}
+
+// SetPersistence attaches a provider whose value is embedded as the
+// "persistence" block of /api/status (e.g. store.Persister.Status).
+func (s *Server) SetPersistence(fn func() interface{}) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.persistence = fn
+}
+
+// SetFeedback attaches the DBA judgment-record store behind /api/feedback.
+func (s *Server) SetFeedback(fb *feedback.Store) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.fb = fb
+}
+
+// RestoreHistory seeds the verdict buffer from persisted verdicts (oldest
+// first), e.g. store.Recovered.VerdictHistory. While the resumed detector
+// catches up it regenerates verdicts it already judged before the restart;
+// Push recognizes them by tick and skips re-recording.
+func (s *Server) RestoreHistory(vs []monitor.Verdict) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range vs {
+		s.verdicts = append(s.verdicts, toVerdictJSON(&vs[i]))
+		if vs[i].Tick > s.restoredThrough {
+			s.restoredThrough = vs[i].Tick
+		}
+	}
+	if len(s.verdicts) > s.maxHist {
+		s.verdicts = s.verdicts[len(s.verdicts)-s.maxHist:]
+	}
+}
+
+func toVerdictJSON(v *monitor.Verdict) verdictJSON {
+	states := make([]string, len(v.States))
+	for i, st := range v.States {
+		states[i] = st.String()
+	}
+	return verdictJSON{
+		Tick: v.Tick, Start: v.Start, Size: v.Size,
+		Abnormal: v.Abnormal, AbnormalDB: v.AbnormalDB,
+		States: states, Expansions: v.Expansions,
+		Health: v.Health.String(), GapCells: v.GapCells,
+	}
 }
 
 type verdictJSON struct {
@@ -56,17 +111,8 @@ func (s *Server) Push(sample [][]float64) (*monitor.Verdict, error) {
 	if err != nil {
 		return nil, err
 	}
-	if v != nil {
-		states := make([]string, len(v.States))
-		for i, st := range v.States {
-			states[i] = st.String()
-		}
-		s.verdicts = append(s.verdicts, verdictJSON{
-			Tick: v.Tick, Start: v.Start, Size: v.Size,
-			Abnormal: v.Abnormal, AbnormalDB: v.AbnormalDB,
-			States: states, Expansions: v.Expansions,
-			Health: v.Health.String(), GapCells: v.GapCells,
-		})
+	if v != nil && v.Tick > s.restoredThrough {
+		s.verdicts = append(s.verdicts, toVerdictJSON(v))
 		if len(s.verdicts) > s.maxHist {
 			s.verdicts = s.verdicts[len(s.verdicts)-s.maxHist:]
 		}
@@ -83,6 +129,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/api/thresholds", s.handleThresholds)
 	mux.HandleFunc("/api/kpis", s.handleKPIs)
 	mux.HandleFunc("/api/explain", s.handleExplain)
+	mux.HandleFunc("/api/feedback", s.handleFeedback)
 	return mux
 }
 
@@ -117,7 +164,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 			deactivated = append(deactivated, d)
 		}
 	}
-	writeJSON(w, http.StatusOK, map[string]interface{}{
+	body := map[string]interface{}{
 		"unit":             s.unitName,
 		"kpis":             kpis,
 		"databases":        dbs,
@@ -134,7 +181,63 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 			"deactivated":      deactivated,
 			"silentRecent":     h.SilentRecent,
 		},
-	})
+	}
+	if s.persistence != nil {
+		body["persistence"] = s.persistence()
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// handleFeedback lets a DBA mark judgment records (POST) and inspect
+// recent marking performance (GET) — the online feedback module's
+// integration surface (§III-D). Records flow through the attached store,
+// and with persistence enabled, into the WAL.
+func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	fb := s.fb
+	s.mu.Unlock()
+	if fb == nil {
+		http.Error(w, "no feedback store attached", http.StatusNotFound)
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		recs := fb.Snapshot()
+		type recJSON struct {
+			Start     int  `json:"start"`
+			Size      int  `json:"size"`
+			Predicted bool `json:"predicted"`
+			Actual    bool `json:"actual"`
+		}
+		out := struct {
+			Count    int       `json:"count"`
+			FMeasure float64   `json:"fMeasure"`
+			Records  []recJSON `json:"records"`
+		}{Count: len(recs), FMeasure: fb.FMeasure(len(recs))}
+		for _, rec := range recs {
+			out.Records = append(out.Records, recJSON{rec.Start, rec.Size, rec.Predicted, rec.Actual})
+		}
+		writeJSON(w, http.StatusOK, out)
+	case http.MethodPost:
+		var body struct {
+			Start     int  `json:"start"`
+			Size      int  `json:"size"`
+			Predicted bool `json:"predicted"`
+			Actual    bool `json:"actual"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			http.Error(w, "bad json: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if body.Size <= 0 || body.Start < 0 {
+			http.Error(w, "bad window", http.StatusUnprocessableEntity)
+			return
+		}
+		fb.Add(feedback.Record{Start: body.Start, Size: body.Size, Predicted: body.Predicted, Actual: body.Actual})
+		writeJSON(w, http.StatusOK, map[string]string{"status": "recorded"})
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
 }
 
 func (s *Server) handleVerdicts(w http.ResponseWriter, r *http.Request) {

@@ -5,11 +5,13 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"testing"
 
 	"dbcatcher/internal/anomaly"
 	"dbcatcher/internal/cluster"
 	"dbcatcher/internal/detect"
+	"dbcatcher/internal/feedback"
 	"dbcatcher/internal/kpi"
 	"dbcatcher/internal/mathx"
 	"dbcatcher/internal/monitor"
@@ -301,4 +303,246 @@ func TestStatusHealthBlock(t *testing.T) {
 	if !sawHealthField {
 		t.Fatal("no degraded/skipped verdict crossed the JSON API")
 	}
+}
+
+// --- Persistence, feedback, and threshold-atomicity tests ---
+
+func TestFeedbackEndpoint(t *testing.T) {
+	s, ts := newTestServer(t)
+
+	// No store attached: 404.
+	resp := getJSON(t, ts.URL+"/api/feedback", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unattached feedback store: %d", resp.StatusCode)
+	}
+
+	s.SetFeedback(feedback.NewStore(8))
+
+	// Invalid marks are rejected.
+	for _, bad := range []string{
+		`{"start": -1, "size": 20}`,
+		`{"start": 0, "size": 0}`,
+		`{not json`,
+	} {
+		resp, err := http.Post(ts.URL+"/api/feedback", "application/json", bytes.NewBufferString(bad))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			t.Fatalf("bad mark %q accepted", bad)
+		}
+	}
+
+	// Valid marks round-trip.
+	for i := 0; i < 3; i++ {
+		body, _ := json.Marshal(map[string]interface{}{
+			"start": i * 20, "size": 20, "predicted": i%2 == 0, "actual": true,
+		})
+		resp, err := http.Post(ts.URL+"/api/feedback", "application/json", bytes.NewBuffer(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("mark %d rejected: %d", i, resp.StatusCode)
+		}
+	}
+	var got struct {
+		Count    int     `json:"count"`
+		FMeasure float64 `json:"fMeasure"`
+		Records  []struct {
+			Start     int  `json:"start"`
+			Size      int  `json:"size"`
+			Predicted bool `json:"predicted"`
+			Actual    bool `json:"actual"`
+		} `json:"records"`
+	}
+	if resp := getJSON(t, ts.URL+"/api/feedback", &got); resp.StatusCode != http.StatusOK {
+		t.Fatalf("feedback GET: %d", resp.StatusCode)
+	}
+	if got.Count != 3 || len(got.Records) != 3 {
+		t.Fatalf("feedback GET = %+v", got)
+	}
+	if got.Records[1].Start != 20 || !got.Records[1].Actual || got.Records[1].Predicted {
+		t.Fatalf("record order/content wrong: %+v", got.Records)
+	}
+	if got.FMeasure <= 0 {
+		t.Fatalf("fMeasure = %v", got.FMeasure)
+	}
+}
+
+func TestStatusPersistenceBlock(t *testing.T) {
+	s, ts := newTestServer(t)
+	var body map[string]interface{}
+	getJSON(t, ts.URL+"/api/status", &body)
+	if _, present := body["persistence"]; present {
+		t.Fatal("persistence block present without a provider")
+	}
+	s.SetPersistence(func() interface{} {
+		return map[string]interface{}{"durableTick": 42, "fsyncPolicy": "interval"}
+	})
+	body = nil
+	getJSON(t, ts.URL+"/api/status", &body)
+	pers, ok := body["persistence"].(map[string]interface{})
+	if !ok {
+		t.Fatalf("persistence block = %T", body["persistence"])
+	}
+	if pers["durableTick"] != float64(42) || pers["fsyncPolicy"] != "interval" {
+		t.Fatalf("persistence block content = %v", pers)
+	}
+}
+
+func TestRestoreHistoryDedupesRegeneratedVerdicts(t *testing.T) {
+	s, _ := newTestServer(t)
+	mk := func(tick int) monitor.Verdict {
+		var v monitor.Verdict
+		v.Tick = tick
+		v.Start = tick - 20
+		v.Size = 20
+		v.AbnormalDB = -1
+		return v
+	}
+	s.RestoreHistory([]monitor.Verdict{mk(20), mk(40), mk(60)})
+
+	s.mu.Lock()
+	if len(s.verdicts) != 3 || s.restoredThrough != 60 {
+		t.Fatalf("restored %d verdicts, through %d", len(s.verdicts), s.restoredThrough)
+	}
+	s.mu.Unlock()
+
+	// Regenerated verdicts (tick <= restoredThrough) are dropped; fresh
+	// ones append. Drive the dedupe path directly.
+	for _, tick := range []int{40, 60, 80} {
+		v := mk(tick)
+		s.mu.Lock()
+		if v.Tick > s.restoredThrough {
+			s.verdicts = append(s.verdicts, toVerdictJSON(&v))
+		}
+		s.mu.Unlock()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.verdicts) != 4 {
+		t.Fatalf("verdict buffer holds %d entries, want 4 (3 restored + 1 fresh)", len(s.verdicts))
+	}
+	if s.verdicts[3].Tick != 80 {
+		t.Fatalf("fresh verdict lost: %+v", s.verdicts)
+	}
+}
+
+func TestRestoreHistoryBoundsBuffer(t *testing.T) {
+	o, err := monitor.NewOnline(detect.Config{
+		Thresholds: window.DefaultThresholds(kpi.Count),
+	}, kpi.Count, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(o, "bounded", 4)
+	vs := make([]monitor.Verdict, 10)
+	for i := range vs {
+		vs[i].Tick = (i + 1) * 10
+	}
+	s.RestoreHistory(vs)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.verdicts) != 4 || s.verdicts[0].Tick != 70 || s.restoredThrough != 100 {
+		t.Fatalf("bounded restore: %d entries, first tick %d, through %d",
+			len(s.verdicts), s.verdicts[0].Tick, s.restoredThrough)
+	}
+}
+
+// A threshold POST must apply atomically with respect to concurrent pushes
+// and concurrent GETs: a reader can never observe a half-applied set (run
+// under -race).
+func TestThresholdsPostAtomicUnderPush(t *testing.T) {
+	s, ts := newTestServer(t)
+	u, err := cluster.Simulate(cluster.Config{
+		Name: "c", Ticks: 600, Seed: 5, Profile: workload.TencentIrregular,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Two coherent sets: either all alphas 0.65/theta 0.25, or all alphas
+	// 0.60/theta 0.30. Any mix is a torn read.
+	setA := window.DefaultThresholds(kpi.Count)
+	setB := setA.Clone()
+	for i := range setB.Alpha {
+		setB.Alpha[i] = 0.60
+	}
+	setB.Theta = 0.30
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // writer: alternate POSTs of the two sets
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			set := setA
+			if i%2 == 1 {
+				set = setB
+			}
+			body, _ := json.Marshal(thresholdsJSON{Alpha: set.Alpha, Theta: set.Theta, MaxTolerance: set.MaxTolerance})
+			resp, err := http.Post(ts.URL+"/api/thresholds", "application/json", bytes.NewBuffer(body))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("POST thresholds: %d", resp.StatusCode)
+				return
+			}
+		}
+	}()
+	go func() { // reader: every GET must be wholly one set
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			var th thresholdsJSON
+			getJSON(t, ts.URL+"/api/thresholds", &th)
+			isA := th.Theta == setA.Theta
+			want := setA.Alpha[0]
+			if !isA {
+				if th.Theta != setB.Theta {
+					t.Errorf("torn theta %v", th.Theta)
+					return
+				}
+				want = setB.Alpha[0]
+			}
+			for _, a := range th.Alpha {
+				if a != want {
+					t.Errorf("torn threshold read: theta=%v alpha=%v", th.Theta, th.Alpha)
+					return
+				}
+			}
+		}
+	}()
+
+	sample := make([][]float64, u.Series.KPIs)
+	for k := range sample {
+		sample[k] = make([]float64, u.Series.Databases)
+	}
+	for tick := 0; tick < 600; tick++ {
+		for k := 0; k < u.Series.KPIs; k++ {
+			for d := 0; d < u.Series.Databases; d++ {
+				sample[k][d] = u.Series.Data[k][d].At(tick)
+			}
+		}
+		if _, err := s.Push(sample); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(done)
+	wg.Wait()
 }

@@ -1,0 +1,386 @@
+// Package store is DBCatcher's embedded durable state subsystem: an
+// append-only, CRC32-checked, segmented write-ahead log for high-rate
+// records (verdicts, DBA feedback, ingestion counters, threshold swaps)
+// plus atomic point-in-time snapshots for the online judge's low-rate
+// state (learned thresholds, flexible-window position, ring tails).
+//
+// The subsystem is dependency-free (standard library only) and built for
+// crash recovery over refusal: a torn final record, a bad checksum, an
+// empty segment, or a corrupt snapshot all recover to the longest valid
+// prefix — Open never refuses to start over damage a crash can cause.
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// RecordType tags a WAL record's payload layout.
+type RecordType uint8
+
+const (
+	// RecVerdict is one emitted judgment verdict (with Health).
+	RecVerdict RecordType = 1
+	// RecFeedback is one DBA-marked judgment record.
+	RecFeedback RecordType = 2
+	// RecCounters is a cumulative ingestion/self-healing counter sample.
+	RecCounters RecordType = 3
+	// RecThresholds is an applied judgment-threshold swap.
+	RecThresholds RecordType = 4
+)
+
+// Decoder sanity bounds: a record claiming more than these is corrupt, not
+// big. They keep a fuzzed or damaged length prefix from driving huge
+// allocations during recovery.
+const (
+	maxStates = 1 << 12 // databases per verdict
+	maxAlphas = 1 << 12 // KPIs per threshold set
+	maxCount  = 1 << 56 // any persisted counter/tick value
+)
+
+// VerdictRecord mirrors monitor.Verdict with storage-plain fields.
+type VerdictRecord struct {
+	Tick       int
+	Start      int
+	Size       int
+	AbnormalDB int // -1 when no database is abnormal
+	Expansions int
+	GapCells   int
+	Abnormal   bool
+	Health     uint8
+	States     []uint8
+}
+
+// FeedbackRecord mirrors feedback.Record.
+type FeedbackRecord struct {
+	Start     int
+	Size      int
+	Predicted bool
+	Actual    bool
+}
+
+// CountersRecord is a cumulative sample of the judge's health counters.
+type CountersRecord struct {
+	GapCells         int
+	MissedTicks      int
+	Deactivations    int
+	Reactivations    int
+	DegradedVerdicts int
+	SkippedRounds    int
+}
+
+// ThresholdsRecord is an applied threshold swap and the tick it took
+// effect at.
+type ThresholdsRecord struct {
+	Tick         int
+	Alpha        []float64
+	Theta        float64
+	MaxTolerance int
+}
+
+// Record is the tagged union carried by one WAL frame; Type selects which
+// member is meaningful.
+type Record struct {
+	Type       RecordType
+	Verdict    VerdictRecord
+	Feedback   FeedbackRecord
+	Counters   CountersRecord
+	Thresholds ThresholdsRecord
+}
+
+// SeqRecord is a replayed record with its log sequence number (1-based,
+// monotonically increasing across segments).
+type SeqRecord struct {
+	Seq uint64
+	Record
+}
+
+// validate rejects records the strict decoder would refuse: appending one
+// would poison recovery (replay treats an undecodable payload as corruption
+// and truncates the log there), so the append path fails fast instead.
+func (r *Record) validate() error {
+	checkCount := func(name string, v int) error {
+		if v < 0 || uint64(v) >= maxCount {
+			return fmt.Errorf("store: %s %d out of range", name, v)
+		}
+		return nil
+	}
+	checkFloat := func(name string, v float64) error {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("store: non-finite %s", name)
+		}
+		return nil
+	}
+	switch r.Type {
+	case RecVerdict:
+		v := &r.Verdict
+		if len(v.States) > maxStates {
+			return fmt.Errorf("store: %d states exceeds the %d limit", len(v.States), maxStates)
+		}
+		if v.AbnormalDB < -1 || v.AbnormalDB >= maxStates {
+			return fmt.Errorf("store: abnormal db %d out of range", v.AbnormalDB)
+		}
+		for _, f := range []struct {
+			name string
+			v    int
+		}{{"tick", v.Tick}, {"start", v.Start}, {"size", v.Size}, {"expansions", v.Expansions}, {"gap cells", v.GapCells}} {
+			if err := checkCount(f.name, f.v); err != nil {
+				return err
+			}
+		}
+	case RecFeedback:
+		if err := checkCount("start", r.Feedback.Start); err != nil {
+			return err
+		}
+		return checkCount("size", r.Feedback.Size)
+	case RecCounters:
+		c := &r.Counters
+		for _, f := range []struct {
+			name string
+			v    int
+		}{{"gap cells", c.GapCells}, {"missed ticks", c.MissedTicks}, {"deactivations", c.Deactivations},
+			{"reactivations", c.Reactivations}, {"degraded verdicts", c.DegradedVerdicts}, {"skipped rounds", c.SkippedRounds}} {
+			if err := checkCount(f.name, f.v); err != nil {
+				return err
+			}
+		}
+	case RecThresholds:
+		t := &r.Thresholds
+		if len(t.Alpha) > maxAlphas {
+			return fmt.Errorf("store: %d alphas exceeds the %d limit", len(t.Alpha), maxAlphas)
+		}
+		if err := checkCount("tick", t.Tick); err != nil {
+			return err
+		}
+		if err := checkCount("max tolerance", t.MaxTolerance); err != nil {
+			return err
+		}
+		for _, a := range t.Alpha {
+			if err := checkFloat("alpha", a); err != nil {
+				return err
+			}
+		}
+		return checkFloat("theta", t.Theta)
+	default:
+		return fmt.Errorf("store: unknown record type %d", r.Type)
+	}
+	return nil
+}
+
+func appendUvarint(b []byte, v uint64) []byte {
+	return binary.AppendUvarint(b, v)
+}
+
+func appendVarint(b []byte, v int64) []byte {
+	return binary.AppendVarint(b, v)
+}
+
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+// appendPayload serializes a record (type byte + fields) onto b.
+func appendPayload(b []byte, r *Record) []byte {
+	b = append(b, byte(r.Type))
+	switch r.Type {
+	case RecVerdict:
+		v := &r.Verdict
+		b = appendUvarint(b, uint64(v.Tick))
+		b = appendUvarint(b, uint64(v.Start))
+		b = appendUvarint(b, uint64(v.Size))
+		b = appendVarint(b, int64(v.AbnormalDB))
+		b = appendUvarint(b, uint64(v.Expansions))
+		b = appendUvarint(b, uint64(v.GapCells))
+		b = appendBool(b, v.Abnormal)
+		b = append(b, v.Health)
+		b = appendUvarint(b, uint64(len(v.States)))
+		b = append(b, v.States...)
+	case RecFeedback:
+		f := &r.Feedback
+		b = appendUvarint(b, uint64(f.Start))
+		b = appendUvarint(b, uint64(f.Size))
+		b = appendBool(b, f.Predicted)
+		b = appendBool(b, f.Actual)
+	case RecCounters:
+		c := &r.Counters
+		b = appendUvarint(b, uint64(c.GapCells))
+		b = appendUvarint(b, uint64(c.MissedTicks))
+		b = appendUvarint(b, uint64(c.Deactivations))
+		b = appendUvarint(b, uint64(c.Reactivations))
+		b = appendUvarint(b, uint64(c.DegradedVerdicts))
+		b = appendUvarint(b, uint64(c.SkippedRounds))
+	case RecThresholds:
+		t := &r.Thresholds
+		b = appendUvarint(b, uint64(t.Tick))
+		b = appendUvarint(b, uint64(len(t.Alpha)))
+		for _, a := range t.Alpha {
+			b = binary.LittleEndian.AppendUint64(b, math.Float64bits(a))
+		}
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(t.Theta))
+		b = appendUvarint(b, uint64(t.MaxTolerance))
+	default:
+		panic(fmt.Sprintf("store: unknown record type %d", r.Type))
+	}
+	return b
+}
+
+// payloadReader walks a payload with sticky error state.
+type payloadReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *payloadReader) fail(format string, args ...interface{}) {
+	if r.err == nil {
+		r.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (r *payloadReader) byteVal() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.off >= len(r.b) {
+		r.fail("store: payload truncated at offset %d", r.off)
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *payloadReader) boolVal() bool {
+	v := r.byteVal()
+	if r.err == nil && v > 1 {
+		r.fail("store: bad bool byte %d", v)
+	}
+	return v == 1
+}
+
+func (r *payloadReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.off:])
+	// Reject zero-padded (non-minimal) encodings too: every valid payload
+	// must re-encode to identical bytes, or recovery stops being canonical.
+	if n <= 0 || (n > 1 && r.b[r.off+n-1] == 0) {
+		r.fail("store: bad uvarint at offset %d", r.off)
+		return 0
+	}
+	r.off += n
+	if v >= maxCount {
+		r.fail("store: implausible value %d", v)
+		return 0
+	}
+	return v
+}
+
+func (r *payloadReader) count() int { return int(r.uvarint()) }
+
+func (r *payloadReader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.b[r.off:])
+	if n <= 0 || (n > 1 && r.b[r.off+n-1] == 0) {
+		r.fail("store: bad varint at offset %d", r.off)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *payloadReader) float() float64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+8 > len(r.b) {
+		r.fail("store: payload truncated at offset %d", r.off)
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.b[r.off:]))
+	r.off += 8
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		r.fail("store: non-finite float")
+		return 0
+	}
+	return v
+}
+
+// decodePayload parses one record payload. It is strict: unknown types,
+// implausible lengths, non-canonical booleans, non-finite floats, and
+// trailing bytes are all errors, so a decoded record always re-encodes to
+// the identical payload.
+func decodePayload(b []byte) (Record, error) {
+	r := payloadReader{b: b}
+	var rec Record
+	rec.Type = RecordType(r.byteVal())
+	switch rec.Type {
+	case RecVerdict:
+		v := &rec.Verdict
+		v.Tick = r.count()
+		v.Start = r.count()
+		v.Size = r.count()
+		db := r.varint()
+		if r.err == nil && (db < -1 || db >= maxStates) {
+			r.fail("store: bad abnormal db %d", db)
+		}
+		v.AbnormalDB = int(db)
+		v.Expansions = r.count()
+		v.GapCells = r.count()
+		v.Abnormal = r.boolVal()
+		v.Health = r.byteVal()
+		n := r.count()
+		if r.err == nil && (n > maxStates || n > len(r.b)-r.off) {
+			r.fail("store: implausible state count %d", n)
+		}
+		if r.err == nil && n > 0 {
+			v.States = append([]uint8(nil), r.b[r.off:r.off+n]...)
+			r.off += n
+		}
+	case RecFeedback:
+		f := &rec.Feedback
+		f.Start = r.count()
+		f.Size = r.count()
+		f.Predicted = r.boolVal()
+		f.Actual = r.boolVal()
+	case RecCounters:
+		c := &rec.Counters
+		c.GapCells = r.count()
+		c.MissedTicks = r.count()
+		c.Deactivations = r.count()
+		c.Reactivations = r.count()
+		c.DegradedVerdicts = r.count()
+		c.SkippedRounds = r.count()
+	case RecThresholds:
+		t := &rec.Thresholds
+		t.Tick = r.count()
+		n := r.count()
+		if r.err == nil && (n > maxAlphas || n*8 > len(r.b)-r.off) {
+			r.fail("store: implausible alpha count %d", n)
+		}
+		if r.err == nil && n > 0 {
+			t.Alpha = make([]float64, n)
+			for i := range t.Alpha {
+				t.Alpha[i] = r.float()
+			}
+		}
+		t.Theta = r.float()
+		t.MaxTolerance = r.count()
+	default:
+		return rec, fmt.Errorf("store: unknown record type %d", rec.Type)
+	}
+	if r.err != nil {
+		return rec, r.err
+	}
+	if r.off != len(b) {
+		return rec, fmt.Errorf("store: %d trailing payload bytes", len(b)-r.off)
+	}
+	return rec, nil
+}

@@ -1,0 +1,236 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// Policy selects when WAL appends are fsynced.
+type Policy int
+
+const (
+	// FsyncEveryInterval (the default) syncs at most once per SyncEvery
+	// of wall time, amortizing fsync cost over a burst of appends; a
+	// crash can lose up to SyncEvery of the newest records.
+	FsyncEveryInterval Policy = iota
+	// FsyncAlways syncs after every append: nothing acknowledged is ever
+	// lost, at one fsync per record.
+	FsyncAlways
+	// FsyncNever leaves flushing to the OS page cache (and Close). A
+	// crash can lose everything since the last rotation or snapshot.
+	FsyncNever
+)
+
+// ParsePolicy maps the daemon's -fsync-policy flag values.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "always":
+		return FsyncAlways, nil
+	case "interval":
+		return FsyncEveryInterval, nil
+	case "never":
+		return FsyncNever, nil
+	default:
+		return 0, fmt.Errorf("store: unknown fsync policy %q (want always, interval, or never)", s)
+	}
+}
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncEveryInterval:
+		return "interval"
+	case FsyncNever:
+		return "never"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Options tunes the store. The zero value is usable: interval fsync every
+// 100ms, 1MiB segments, 2 retained closed segments.
+type Options struct {
+	// Fsync is the WAL durability policy.
+	Fsync Policy
+	// SyncEvery is the FsyncEveryInterval period (default 100ms).
+	SyncEvery time.Duration
+	// SegmentBytes caps a segment before rotation (default 1MiB).
+	SegmentBytes int64
+	// RetainSegments closed segments are kept even when fully covered by
+	// a snapshot, so recent record history survives restarts (default 2).
+	RetainSegments int
+}
+
+func (o Options) withDefaults() Options {
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = 100 * time.Millisecond
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 1 << 20
+	}
+	if o.RetainSegments <= 0 {
+		o.RetainSegments = 2
+	}
+	return o
+}
+
+// Metrics counts the store's activity and what recovery found. Counters
+// are cumulative for the process; recovery fields describe the last Open.
+type Metrics struct {
+	Appends           uint64 `json:"appends"`
+	Syncs             uint64 `json:"syncs"`
+	Rotations         uint64 `json:"rotations"`
+	Snapshots         uint64 `json:"snapshots"`
+	CompactedSegments uint64 `json:"compactedSegments"`
+
+	RecoveredRecords int   `json:"recoveredRecords"`
+	DroppedSegments  int   `json:"droppedSegments"`
+	TruncatedBytes   int64 `json:"truncatedBytes"`
+	CRCErrors        int   `json:"crcErrors"`
+	TornTail         bool  `json:"tornTail"`
+	SnapshotCorrupt  bool  `json:"snapshotCorrupt"`
+}
+
+// Recovered is everything Open could read back from the data directory.
+type Recovered struct {
+	// Snapshot is the last durable point-in-time capture, nil when none
+	// survived.
+	Snapshot *SnapshotState
+	// Records are all WAL records still on disk in sequence order —
+	// including ones at or below Snapshot.Seq (they are history, useful
+	// for rebuilding the verdict buffer) and ones above it (state deltas
+	// that must be applied on top of the snapshot).
+	Records []SeqRecord
+}
+
+// Store is the durable state store: a segmented WAL plus an atomically
+// replaced snapshot, in one directory. It is safe for concurrent use.
+type Store struct {
+	mu      sync.Mutex
+	dir     string
+	opts    Options
+	wal     *wal
+	metrics Metrics
+	closed  bool
+}
+
+// Open recovers whatever a previous process left in dir (creating it if
+// needed) and returns the store ready for appends. Crash damage — torn
+// final records, bad checksums, empty segments, a corrupt snapshot, a
+// leftover snapshot temp file — is repaired, never fatal: Open only fails
+// on environmental errors (permissions, I/O).
+func Open(dir string, opts Options) (*Store, *Recovered, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("store: %w", err)
+	}
+	_ = os.Remove(filepath.Join(dir, snapshotTmp)) // interrupted snapshot write
+	s := &Store{dir: dir, opts: opts}
+	snap, corrupt := loadSnapshot(dir)
+	s.metrics.SnapshotCorrupt = corrupt
+	w, recs, err := openWAL(dir, opts, &s.metrics)
+	if err != nil {
+		return nil, nil, err
+	}
+	s.wal = w
+	return s, &Recovered{Snapshot: snap, Records: recs}, nil
+}
+
+// Dir returns the data directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Policy returns the configured fsync policy.
+func (s *Store) Policy() Policy { return s.opts.Fsync }
+
+func (s *Store) append(r *Record) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, fmt.Errorf("store: closed")
+	}
+	return s.wal.append(r)
+}
+
+// AppendVerdict logs one judgment verdict.
+func (s *Store) AppendVerdict(v VerdictRecord) (uint64, error) {
+	return s.append(&Record{Type: RecVerdict, Verdict: v})
+}
+
+// AppendFeedback logs one DBA-marked judgment record.
+func (s *Store) AppendFeedback(f FeedbackRecord) (uint64, error) {
+	return s.append(&Record{Type: RecFeedback, Feedback: f})
+}
+
+// AppendCounters logs a cumulative health-counter sample.
+func (s *Store) AppendCounters(c CountersRecord) (uint64, error) {
+	return s.append(&Record{Type: RecCounters, Counters: c})
+}
+
+// AppendThresholds logs an applied threshold swap.
+func (s *Store) AppendThresholds(t ThresholdsRecord) (uint64, error) {
+	return s.append(&Record{Type: RecThresholds, Thresholds: t})
+}
+
+// LastSeq returns the sequence number of the most recent append (0 before
+// the first).
+func (s *Store) LastSeq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.wal.nextSeq - 1
+}
+
+// Sync flushes buffered WAL appends to stable storage regardless of
+// policy.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	return s.wal.sync()
+}
+
+// WriteSnapshot atomically replaces the snapshot and compacts WAL segments
+// it covers. The WAL is synced first (except under FsyncNever) so the
+// snapshot never claims coverage of records less durable than itself.
+func (s *Store) WriteSnapshot(st SnapshotState) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: closed")
+	}
+	if s.opts.Fsync != FsyncNever {
+		if err := s.wal.sync(); err != nil {
+			return err
+		}
+	}
+	if err := writeSnapshot(s.dir, &st); err != nil {
+		return err
+	}
+	s.metrics.Snapshots++
+	s.wal.compact(st.Seq, s.opts.RetainSegments)
+	return nil
+}
+
+// Metrics returns a copy of the activity counters.
+func (s *Store) Metrics() Metrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.metrics
+}
+
+// Close flushes and closes the WAL. The store rejects further appends.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.wal.close()
+}

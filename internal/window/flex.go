@@ -109,3 +109,24 @@ func (f *Flex) Resolve(s State) (final State, done bool) {
 
 // Reset begins a new round at the initial size.
 func (f *Flex) Reset() { f.size = f.cfg.Initial }
+
+// Restore positions the round at a previously observed window size (used
+// when resuming a persisted judgment round). The size must be reachable by
+// the configured expansion sequence W, W+Δ, ..., MaxWindow().
+func (f *Flex) Restore(size int) error {
+	if f.cfg.Disabled {
+		if size != f.cfg.Initial {
+			return fmt.Errorf("window: size %d invalid with expansion disabled (want %d)", size, f.cfg.Initial)
+		}
+		f.size = size
+		return nil
+	}
+	if size < f.cfg.Initial || size > f.cfg.MaxWindow() {
+		return fmt.Errorf("window: size %d outside [%d, %d]", size, f.cfg.Initial, f.cfg.MaxWindow())
+	}
+	if (size-f.cfg.Initial)%f.cfg.delta() != 0 {
+		return fmt.Errorf("window: size %d not on the expansion sequence (W=%d, delta=%d)", size, f.cfg.Initial, f.cfg.delta())
+	}
+	f.size = size
+	return nil
+}
