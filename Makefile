@@ -8,16 +8,24 @@ GO ?= go
 # Per-target budget for `make fuzz` (the CI smoke job uses the default).
 FUZZTIME ?= 30s
 
+# Per-package test deadlines, far below go test's 10-minute default: the
+# scrape layer's deadline/backoff/breaker tests finish in seconds, so a
+# hung-target regression (a lost context deadline, an unbounded retry)
+# fails the suite fast instead of stalling CI.
+TESTTIMEOUT ?= 120s
+RACETIMEOUT ?= 300s
+
 build:
 	$(GO) build ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -timeout $(TESTTIMEOUT) ./...
 
-# The parallel engine, fleet runner, and searcher fan-out are exercised
-# under the race detector here; slow but mandatory for concurrency changes.
+# The parallel engine, fleet runner, searcher fan-out, and the scrape
+# layer's fan-out/breaker paths are exercised under the race detector
+# here; slow but mandatory for concurrency changes.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout $(RACETIMEOUT) ./...
 
 vet:
 	$(GO) vet ./...

@@ -30,6 +30,7 @@ import (
 	"dbcatcher/internal/detect"
 	"dbcatcher/internal/kpi"
 	"dbcatcher/internal/mathx"
+	"dbcatcher/internal/scrape"
 	"dbcatcher/internal/store"
 	"dbcatcher/internal/window"
 	"dbcatcher/internal/workload"
@@ -69,6 +70,9 @@ type Report struct {
 	// KCDAllocsScratch is the scratch path's allocs/op — the zero-alloc
 	// contract, asserted by TestKCDScratchZeroAlloc.
 	KCDAllocsScratch int64 `json:"kcd_allocs_scratch"`
+	// ScrapeAssembleAllocs is the scrape round assembler's allocs/op —
+	// its zero-alloc contract, asserted by TestAssemblerShapesAndZeroAlloc.
+	ScrapeAssembleAllocs int64 `json:"scrape_assemble_allocs"`
 }
 
 func measure(name string, fn func(b *testing.B)) Entry {
@@ -239,9 +243,33 @@ func main() {
 		}
 	}))
 
+	// The scrape round assembler: per-target KPI vectors (one of them
+	// missing, so the NaN fill path is part of the warm loop) into the
+	// monitor's sample shape. The warm path must stay allocation-free —
+	// this is the per-round assembly cost in scrape mode.
+	vecs := make([][]float64, dbs)
+	for d := 0; d < dbs-1; d++ {
+		v := make([]float64, kpi.Count)
+		for k := range v {
+			v[k] = u.Series.Data[k][d].At(0)
+		}
+		vecs[d] = v
+	}
+	asm := scrape.NewAssembler(kpi.Count, dbs)
+	scrapeAssemble := measure("scrape/assemble", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := asm.Assemble(vecs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	add(scrapeAssemble)
+
 	rep.BuildSpeedupParallel = serialScratch.NsPerOp / parallelScratch.NsPerOp
 	rep.BuildAllocReduction = float64(serialAlloc.AllocsPerOp) / float64(serialScratch.AllocsPerOp)
 	rep.KCDAllocsScratch = kcdScratch.AllocsPerOp
+	rep.ScrapeAssembleAllocs = scrapeAssemble.AllocsPerOp
 
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

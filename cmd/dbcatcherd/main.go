@@ -7,7 +7,17 @@
 // records, and threshold swaps are written to a CRC-checked WAL and the
 // judge's full state to atomic snapshots, so a restart resumes detection
 // one past the last persisted tick instead of resetting to factory
-// thresholds. SIGTERM/SIGINT flush a final snapshot before exit.
+// thresholds. SIGTERM/SIGINT drain in-flight API responses and flush a
+// final snapshot before exit.
+//
+// With -scrape-addr the collection path is a real network pipeline: every
+// database is exported as an HTTP scrape target (/db/N/kpis) and ingestion
+// runs exporter → deadline-driven scraper (retries, backoff, per-target
+// circuit breakers) → degraded monitor. -scrape-fault injects exporter
+// misbehaviour (hangs, 5xx, truncated JSON, drops) to watch the pipeline
+// degrade and recover; /api/status reports per-target scrape health. A
+// second process can run -scrape-addr :9101 -export-only while this one
+// scrapes it via -scrape-targets.
 //
 // Usage:
 //
@@ -23,12 +33,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -40,6 +53,7 @@ import (
 	"dbcatcher/internal/kpi"
 	"dbcatcher/internal/mathx"
 	"dbcatcher/internal/monitor"
+	"dbcatcher/internal/scrape"
 	"dbcatcher/internal/server"
 	"dbcatcher/internal/store"
 	"dbcatcher/internal/window"
@@ -68,6 +82,19 @@ func main() {
 		dataDir     = flag.String("data-dir", "", "durable state directory (empty = in-memory only)")
 		fsyncPolicy = flag.String("fsync-policy", "interval", "WAL durability: always, interval, never")
 		snapEvery   = flag.Int("snapshot-every", 1, "verdicts between state snapshots (threshold swaps always snapshot)")
+
+		scrapeAddr    = flag.String("scrape-addr", "", "serve the unit's per-DB KPI exporter on this address and ingest over HTTP scrape instead of the in-process collector")
+		scrapeTargets = flag.String("scrape-targets", "", "comma-separated external scrape target URLs, one per database in order (overrides self-scrape; pair with a -scrape-addr -export-only process)")
+		exportOnly    = flag.Bool("export-only", false, "with -scrape-addr: only publish and export KPIs, skip detection (a second dbcatcherd scrapes this one via -scrape-targets)")
+
+		scrapeRoundTO  = flag.Duration("scrape-round-timeout", 2*time.Second, "collection deadline per tick; late targets become NaN gaps")
+		scrapeTryTO    = flag.Duration("scrape-try-timeout", 0, "per-attempt HTTP timeout (0 = round timeout / 4)")
+		scrapeAttempts = flag.Int("scrape-attempts", 3, "attempts per target per round (first try plus retries)")
+		scrapeBrkFails = flag.Int("scrape-breaker-failures", 3, "consecutive failed rounds before a target's circuit breaker opens")
+		scrapeBrkOpen  = flag.Int("scrape-breaker-open", 5, "rounds an open breaker skips before its half-open probe")
+		scrapeStale    = flag.Int("scrape-stale-rounds", 3, "rounds a target may re-serve the same tick before it is marked down")
+		scrapeConc     = flag.Int("scrape-concurrency", 0, "scrape fan-out bound (0 = all targets, capped at 16)")
+		scrapeFaults   = flag.String("scrape-fault", "", "exporter fault script: db:mode[:count],... (modes: hang, 5xx, truncate, garbage, drop, flap, stale)")
 	)
 	flag.Parse()
 
@@ -128,6 +155,74 @@ func main() {
 		log.Fatalf("dbcatcherd: %v", err)
 	}
 	srv := server.New(online, "live", 512)
+
+	// Network scrape layer (optional): with -scrape-addr every database in
+	// the unit becomes a real HTTP scrape target served by this process,
+	// and ingestion runs the full network path (exporter → scraper →
+	// degraded monitor) instead of the in-process function call. With
+	// -scrape-targets the scraper collects from external exporters instead
+	// (e.g. a second dbcatcherd running -export-only).
+	if *exportOnly && *scrapeAddr == "" {
+		log.Fatalf("dbcatcherd: -export-only requires -scrape-addr")
+	}
+	var (
+		feed    *scrape.Feed
+		scraper *scrape.Scraper
+		expSrv  *http.Server
+	)
+	targets := splitTargets(*scrapeTargets)
+	if targets != nil && len(targets) != *dbs {
+		log.Fatalf("dbcatcherd: -scrape-targets lists %d targets for %d databases", len(targets), *dbs)
+	}
+	if *scrapeAddr != "" {
+		feed = scrape.NewFeed(kpi.Count, *dbs)
+		exp := scrape.NewExporter(feed)
+		if err := applyScrapeFaults(exp, *scrapeFaults, *dbs); err != nil {
+			log.Fatalf("dbcatcherd: %v", err)
+		}
+		ln, err := net.Listen("tcp", *scrapeAddr)
+		if err != nil {
+			log.Fatalf("dbcatcherd: scrape listener: %v", err)
+		}
+		expSrv = &http.Server{
+			Handler: exp.Handler(),
+			// No WriteTimeout: hang faults park responses on purpose; the
+			// scraper's per-try deadline is the recovery mechanism.
+			ReadHeaderTimeout: 5 * time.Second,
+			ReadTimeout:       15 * time.Second,
+			IdleTimeout:       2 * time.Minute,
+		}
+		go func() {
+			if err := expSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+				log.Fatalf("dbcatcherd: exporter: %v", err)
+			}
+		}()
+		port := ln.Addr().(*net.TCPAddr).Port
+		if targets == nil {
+			targets = scrape.SelfTargets(fmt.Sprintf("http://127.0.0.1:%d", port), *dbs)
+		}
+		log.Printf("exporting %d scrape targets on %v (/db/N/kpis)", *dbs, ln.Addr())
+	}
+	if !*exportOnly && targets != nil {
+		scraper, err = scrape.New(scrape.Config{
+			Targets:           targets,
+			KPIs:              kpi.Count,
+			RoundTimeout:      *scrapeRoundTO,
+			TryTimeout:        *scrapeTryTO,
+			MaxAttempts:       *scrapeAttempts,
+			BreakerFailures:   *scrapeBrkFails,
+			BreakerOpenRounds: *scrapeBrkOpen,
+			StaleRounds:       *scrapeStale,
+			Concurrency:       *scrapeConc,
+			JitterSeed:        *seed + 4,
+		})
+		if err != nil {
+			log.Fatalf("dbcatcherd: %v", err)
+		}
+		srv.SetScrape(func() interface{} { return scraper.Health() })
+		log.Printf("scrape ingestion: %d targets, round deadline %v, breaker %d fails / %d open rounds",
+			len(targets), *scrapeRoundTO, *scrapeBrkFails, *scrapeBrkOpen)
+	}
 
 	// Durable state: recover whatever a previous run persisted, attach
 	// the WAL/snapshot bridge, and resume detection one past the last
@@ -198,6 +293,7 @@ func main() {
 	go func() {
 		defer close(done)
 		interval := time.Duration(float64(5*time.Second) / *speedup)
+		degradedRounds := 0
 		for tick := resume; tick < *horizon; tick++ {
 			select {
 			case <-stop:
@@ -213,9 +309,42 @@ func main() {
 					log.Printf("failover: detector now treats db%d as primary", *foTarget)
 				}
 			}
-			sample, ok := collector.Next()
-			if !ok {
-				break
+			var sample [][]float64
+			if feed != nil || scraper == nil {
+				// The local simulation is the data source (everything but
+				// pure external-target mode).
+				var ok bool
+				sample, ok = collector.Next()
+				if !ok {
+					break
+				}
+			}
+			if feed != nil {
+				if err := feed.Publish(tick, sample); err != nil {
+					log.Printf("publish: %v", err)
+					return
+				}
+			}
+			if *exportOnly {
+				time.Sleep(interval)
+				continue
+			}
+			if scraper != nil {
+				scraped, rep, err := scraper.Round(context.Background())
+				if err != nil {
+					log.Printf("scrape round: %v", err)
+					return
+				}
+				if rep.Late || rep.Missing > 0 {
+					degradedRounds++
+					// Log the first few and then sampled repeats; a dead
+					// target must not flood the journal one line per tick.
+					if degradedRounds <= 10 || degradedRounds%100 == 0 {
+						log.Printf("scrape round %d: %d/%d targets arrived (breaker-skipped %d, late %v)",
+							rep.Round, rep.Arrived, scraper.Targets(), rep.Skipped, rep.Late)
+					}
+				}
+				sample = scraped
 			}
 			v, err := srv.Push(sample)
 			if err != nil {
@@ -246,19 +375,41 @@ func main() {
 			h.GapCells, h.MissedTicks, h.DegradedVerdicts, h.SkippedRounds, h.Deactivations, h.Reactivations)
 	}()
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	// Real serving timeouts: a stuck or malicious client cannot pin a
+	// connection open forever (the zero-value http.Server would let it).
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       15 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	shutdownDone := make(chan struct{})
 	go func() {
-		// Graceful shutdown: stop the feeder, flush a final snapshot so
-		// the next boot resumes exactly here, then close the listener.
+		// Graceful shutdown: stop the feeder, drain in-flight API
+		// responses with a deadline, then flush the final snapshot so the
+		// next boot resumes exactly here.
+		defer close(shutdownDone)
 		sigc := make(chan os.Signal, 1)
 		signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
 		sig := <-sigc
-		log.Printf("received %v: flushing durable state", sig)
+		log.Printf("received %v: draining and flushing durable state", sig)
 		close(stop)
 		select {
 		case <-done:
 		case <-time.After(5 * time.Second):
 			log.Printf("feeder did not drain in time")
+		}
+		drainCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if expSrv != nil {
+			if err := expSrv.Shutdown(drainCtx); err != nil {
+				log.Printf("exporter shutdown: %v", err)
+			}
+		}
+		if err := httpSrv.Shutdown(drainCtx); err != nil {
+			log.Printf("shutdown: %v", err)
 		}
 		if pers != nil {
 			if err := pers.Flush(online); err != nil {
@@ -270,13 +421,61 @@ func main() {
 				log.Printf("close: %v", err)
 			}
 		}
-		_ = httpSrv.Close()
 	}()
 
 	log.Printf("listening on %s", *addr)
 	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		log.Fatalf("dbcatcherd: %v", err)
 	}
+	<-shutdownDone
+}
+
+// splitTargets parses the -scrape-targets list (nil when empty).
+func splitTargets(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// applyScrapeFaults parses and installs the -scrape-fault script:
+// "db:mode[:count]" entries separated by commas, count 0 or omitted
+// meaning until the process exits.
+func applyScrapeFaults(exp *scrape.Exporter, spec string, dbs int) error {
+	if strings.TrimSpace(spec) == "" {
+		return nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		if len(fields) != 2 && len(fields) != 3 {
+			return fmt.Errorf("bad scrape fault %q (want db:mode[:count])", part)
+		}
+		db, err := strconv.Atoi(fields[0])
+		if err != nil || db < 0 || db >= dbs {
+			return fmt.Errorf("bad scrape fault %q: database %q out of %d", part, fields[0], dbs)
+		}
+		mode, err := scrape.ParseFaultMode(fields[1])
+		if err != nil {
+			return fmt.Errorf("bad scrape fault %q: %v", part, err)
+		}
+		count := 0
+		if len(fields) == 3 {
+			if count, err = strconv.Atoi(fields[2]); err != nil || count < 0 {
+				return fmt.Errorf("bad scrape fault %q: count %q", part, fields[2])
+			}
+		}
+		if err := exp.SetFault(db, scrape.Fault{Mode: mode, Count: count}); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func tickAbnormal(l *anomaly.Labels, start, size int) bool {

@@ -1,8 +1,10 @@
 package main
 
 import (
+	"reflect"
 	"testing"
 
+	"dbcatcher/internal/scrape"
 	"dbcatcher/internal/workload"
 )
 
@@ -23,5 +25,43 @@ func TestParseProfile(t *testing.T) {
 	}
 	if _, err := parseProfile("nope"); err == nil {
 		t.Error("unknown profile should error")
+	}
+}
+
+func TestSplitTargets(t *testing.T) {
+	cases := map[string][]string{
+		"":        nil,
+		"  ":      nil,
+		"a":       {"a"},
+		"a,b":     {"a", "b"},
+		" a , b,": {"a", "b"},
+	}
+	for in, want := range cases {
+		if got := splitTargets(in); !reflect.DeepEqual(got, want) {
+			t.Errorf("splitTargets(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestApplyScrapeFaults(t *testing.T) {
+	exp := scrape.NewExporter(scrape.NewFeed(2, 3))
+	if err := applyScrapeFaults(exp, "", 3); err != nil {
+		t.Fatalf("empty spec: %v", err)
+	}
+	if err := applyScrapeFaults(exp, "0:hang, 1:5xx:10 ,2:flap", 3); err != nil {
+		t.Fatalf("valid spec: %v", err)
+	}
+	for _, bad := range []string{
+		"0",            // missing mode
+		"0:hang:1:2",   // too many fields
+		"x:hang",       // non-numeric db
+		"3:hang",       // db out of range
+		"0:explode",    // unknown mode
+		"0:hang:-1",    // negative count
+		"0:hang:zwölf", // non-numeric count
+	} {
+		if err := applyScrapeFaults(exp, bad, 3); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
 	}
 }

@@ -1,0 +1,228 @@
+package scrape
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+)
+
+// FaultMode is an injectable exporter-side failure, the scrape layer's
+// equivalent of workload.FaultPlan: where the fault plan models what the
+// collection agents lose, FaultMode models how a scrape target misbehaves
+// on the wire.
+type FaultMode int
+
+const (
+	// FaultNone serves normally.
+	FaultNone FaultMode = iota
+	// FaultHang never responds; the request parks until the client gives
+	// up (exercises per-try timeouts and the round deadline).
+	FaultHang
+	// Fault5xx answers 500 Internal Server Error.
+	Fault5xx
+	// FaultTruncate sends a 200 with the first half of the JSON body and
+	// stops (exercises the strict payload parser).
+	FaultTruncate
+	// FaultGarbage sends a 200 whose body is not JSON at all.
+	FaultGarbage
+	// FaultDrop severs the TCP connection mid-response without a status
+	// line (exercises transport-level error handling).
+	FaultDrop
+	// FaultFlap alternates: every other request succeeds, the rest 500
+	// (exercises breaker hysteresis — consecutive-failure counting must
+	// not trip on an intermittent target).
+	FaultFlap
+	// FaultStale serves tick and values frozen at the moment the fault was
+	// installed (exercises staleness detection and mark-down).
+	FaultStale
+)
+
+// String names the mode (also the -scrape-fault flag spelling).
+func (m FaultMode) String() string {
+	switch m {
+	case FaultNone:
+		return "none"
+	case FaultHang:
+		return "hang"
+	case Fault5xx:
+		return "5xx"
+	case FaultTruncate:
+		return "truncate"
+	case FaultGarbage:
+		return "garbage"
+	case FaultDrop:
+		return "drop"
+	case FaultFlap:
+		return "flap"
+	case FaultStale:
+		return "stale"
+	}
+	return fmt.Sprintf("FaultMode(%d)", int(m))
+}
+
+// ParseFaultMode parses a FaultMode name.
+func ParseFaultMode(s string) (FaultMode, error) {
+	for m := FaultNone; m <= FaultStale; m++ {
+		if m.String() == s {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("scrape: unknown fault mode %q", s)
+}
+
+// Fault scripts one target's misbehaviour. Count bounds how many requests
+// it affects (0 = until cleared).
+type Fault struct {
+	Mode  FaultMode
+	Count int
+}
+
+// targetFault is one database's live fault state.
+type targetFault struct {
+	fault    Fault
+	affected int // requests hit so far by the current fault
+	requests int // total requests served (drives FaultFlap parity)
+	// frozen holds the payload captured when a FaultStale was installed.
+	frozen []byte
+	// stalePending requests capture of the next healthy payload.
+	stalePending bool
+}
+
+// Exporter serves a unit's per-database KPI vectors over HTTP: GET
+// /db/{db}/kpis returns the database's current-tick Payload. Faults are
+// injectable per target so tests and demos can script the full set of
+// real-world scrape failures.
+type Exporter struct {
+	feed *Feed
+
+	mu     sync.Mutex
+	faults []targetFault
+	bufs   [][]byte    // per-db response build buffers, reused
+	vecs   [][]float64 // per-db Read scratch
+}
+
+// NewExporter builds the exporter over a feed.
+func NewExporter(feed *Feed) *Exporter {
+	kpis, dbs := feed.Shape()
+	e := &Exporter{feed: feed}
+	e.faults = make([]targetFault, dbs)
+	e.bufs = make([][]byte, dbs)
+	e.vecs = make([][]float64, dbs)
+	for d := range e.vecs {
+		e.vecs[d] = make([]float64, kpis)
+	}
+	return e
+}
+
+// SetFault installs (or with Fault{} clears) database db's scripted fault.
+func (e *Exporter) SetFault(db int, f Fault) error {
+	_, dbs := e.feed.Shape()
+	if db < 0 || db >= dbs {
+		return fmt.Errorf("scrape: fault targets database %d of %d", db, dbs)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.faults[db] = targetFault{fault: f, stalePending: f.Mode == FaultStale}
+	return nil
+}
+
+// Handler returns the exporter's routes: one scrape target per database at
+// /db/{db}/kpis, plus /healthz.
+func (e *Exporter) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"status":"ok"}` + "\n"))
+	})
+	mux.HandleFunc("GET /db/{db}/kpis", e.handleKPIs)
+	return mux
+}
+
+func (e *Exporter) handleKPIs(w http.ResponseWriter, r *http.Request) {
+	_, dbs := e.feed.Shape()
+	db, err := strconv.Atoi(r.PathValue("db"))
+	if err != nil || db < 0 || db >= dbs {
+		http.Error(w, "unknown database", http.StatusNotFound)
+		return
+	}
+
+	e.mu.Lock()
+	body, mode := e.renderLocked(db)
+	e.mu.Unlock()
+
+	switch mode {
+	case FaultHang:
+		// Park until the scraper abandons the request; never write.
+		<-r.Context().Done()
+		return
+	case Fault5xx:
+		http.Error(w, "injected fault", http.StatusInternalServerError)
+		return
+	case FaultGarbage:
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte("<<<this is not json at all>>>"))
+		return
+	case FaultTruncate:
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+		_, _ = w.Write(body[:len(body)/2])
+		// Returning without the rest aborts the response mid-body: the
+		// declared Content-Length makes the client see an unexpected EOF.
+		panic(http.ErrAbortHandler)
+	case FaultDrop:
+		panic(http.ErrAbortHandler) // severs the connection, no response
+	}
+
+	if body == nil {
+		http.Error(w, "no sample published yet", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(body)
+}
+
+// renderLocked resolves db's fault for this request and, when the request
+// should carry data, renders the response body. A nil body with FaultNone
+// means no tick has been published yet.
+func (e *Exporter) renderLocked(db int) (body []byte, mode FaultMode) {
+	tf := &e.faults[db]
+	tf.requests++
+	mode = tf.fault.Mode
+	if mode != FaultNone {
+		tf.affected++
+		if tf.fault.Count > 0 && tf.affected > tf.fault.Count {
+			*tf = targetFault{requests: tf.requests}
+			mode = FaultNone
+		}
+	}
+	if mode == FaultFlap {
+		if tf.requests%2 == 1 {
+			mode = FaultNone
+		} else {
+			return nil, Fault5xx
+		}
+	}
+
+	tick, ok := e.feed.Read(db, e.vecs[db])
+	if !ok {
+		return nil, mode
+	}
+	p := Payload{Tick: tick, DB: db, Values: e.vecs[db]}
+	e.bufs[db] = appendPayload(e.bufs[db][:0], &p)
+
+	switch mode {
+	case FaultStale:
+		if tf.stalePending {
+			tf.frozen = append(tf.frozen[:0], e.bufs[db]...)
+			tf.stalePending = false
+		}
+		// The handler writes after the lock drops, so it must not hold a
+		// buffer a concurrent render could rewrite: copy out.
+		return append([]byte(nil), tf.frozen...), FaultNone
+	case FaultNone, FaultTruncate:
+		return append([]byte(nil), e.bufs[db]...), mode
+	default:
+		return nil, mode
+	}
+}

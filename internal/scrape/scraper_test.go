@@ -1,0 +1,293 @@
+package scrape
+
+import (
+	"context"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// testPipe wires feed → exporter → httptest server → scraper, with a
+// per-database request counter so tests can assert how often a target was
+// actually contacted.
+type testPipe struct {
+	feed *Feed
+	exp  *Exporter
+	ts   *httptest.Server
+	s    *Scraper
+	reqs []atomic.Int64
+}
+
+func newTestPipe(t *testing.T, kpis, dbs int, mod func(*Config)) *testPipe {
+	t.Helper()
+	p := &testPipe{feed: NewFeed(kpis, dbs), reqs: make([]atomic.Int64, dbs)}
+	p.exp = NewExporter(p.feed)
+	inner := p.exp.Handler()
+	p.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if parts := strings.Split(r.URL.Path, "/"); len(parts) == 4 && parts[1] == "db" {
+			for d := 0; d < dbs; d++ {
+				if parts[2] == string(rune('0'+d)) {
+					p.reqs[d].Add(1)
+				}
+			}
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	t.Cleanup(p.ts.Close)
+	cfg := Config{
+		Targets:           SelfTargets(p.ts.URL, dbs),
+		KPIs:              kpis,
+		RoundTimeout:      2 * time.Second,
+		TryTimeout:        500 * time.Millisecond,
+		MaxAttempts:       3,
+		BackoffBase:       time.Millisecond,
+		BackoffMax:        4 * time.Millisecond,
+		BreakerFailures:   2,
+		BreakerOpenRounds: 3,
+		StaleRounds:       2,
+		JitterSeed:        1,
+	}
+	if mod != nil {
+		mod(&cfg)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.s = s
+	return p
+}
+
+func (p *testPipe) publish(t *testing.T, tick int, sample [][]float64) {
+	t.Helper()
+	if err := p.feed.Publish(tick, sample); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func (p *testPipe) round(t *testing.T) ([][]float64, RoundReport) {
+	t.Helper()
+	sample, rep, err := p.s.Round(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sample, rep
+}
+
+func sampleFor(kpis, dbs, tick int) [][]float64 {
+	s := make([][]float64, kpis)
+	for k := range s {
+		s[k] = make([]float64, dbs)
+		for d := range s[k] {
+			s[k][d] = float64(tick*100+k*10+d) + 0.25
+		}
+	}
+	return s
+}
+
+func sameCell(a, b float64) bool {
+	return math.IsNaN(a) == math.IsNaN(b) && (math.IsNaN(a) || a == b)
+}
+
+func TestScraperHealthyRoundBitExact(t *testing.T) {
+	p := newTestPipe(t, 3, 2, nil)
+	want := [][]float64{{1.5, 2.5}, {-3e-9, 4e12}, {math.NaN(), 0.1}}
+	p.publish(t, 0, want)
+	got, rep := p.round(t)
+	if rep.Arrived != 2 || rep.Missing != 0 || rep.Late {
+		t.Fatalf("report = %+v", rep)
+	}
+	for k := range want {
+		for d := range want[k] {
+			if !sameCell(want[k][d], got[k][d]) {
+				t.Fatalf("cell [%d][%d] = %v, want %v", k, d, got[k][d], want[k][d])
+			}
+		}
+	}
+	h := p.s.Health()
+	if h.Rounds != 1 || h.CompleteRounds != 1 || h.Targets[0].Successes != 1 {
+		t.Fatalf("health = %+v", h)
+	}
+}
+
+func TestScraperRetriesTransientFailure(t *testing.T) {
+	p := newTestPipe(t, 2, 2, nil)
+	p.publish(t, 0, sampleFor(2, 2, 0))
+	// The first two requests to db 0 fail; the third attempt succeeds
+	// inside the same round.
+	if err := p.exp.SetFault(0, Fault{Mode: Fault5xx, Count: 2}); err != nil {
+		t.Fatal(err)
+	}
+	got, rep := p.round(t)
+	if rep.Arrived != 2 || rep.Missing != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if math.IsNaN(got[0][0]) {
+		t.Fatal("retried target still missing")
+	}
+	h := p.s.Health()
+	if h.Targets[0].Retries != 2 || h.Targets[0].Successes != 1 {
+		t.Fatalf("target 0 health = %+v", h.Targets[0])
+	}
+	if h.Targets[0].ConsecutiveFailures != 0 {
+		t.Fatal("in-round retry success must clear consecutive failures")
+	}
+}
+
+func TestScraperGarbageIsFailure(t *testing.T) {
+	p := newTestPipe(t, 2, 2, nil)
+	p.publish(t, 0, sampleFor(2, 2, 0))
+	p.exp.SetFault(1, Fault{Mode: FaultGarbage})
+	got, rep := p.round(t)
+	if rep.Arrived != 1 || rep.Missing != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if !math.IsNaN(got[0][1]) || !math.IsNaN(got[1][1]) {
+		t.Fatal("garbage target column not NaN")
+	}
+	if h := p.s.Health(); h.Targets[1].Failures != 1 || h.Targets[1].LastError == "" {
+		t.Fatalf("target 1 health = %+v", h.Targets[1])
+	}
+}
+
+// The full breaker lifecycle, round by round: closed → failures → open
+// (skips, no requests on the wire) → half-open probe → re-open → probe
+// succeeds → closed. Request counts prove the breaker stops hammering.
+func TestScraperBreakerLifecycle(t *testing.T) {
+	p := newTestPipe(t, 2, 2, nil)
+	p.exp.SetFault(1, Fault{Mode: Fault5xx}) // permanent until cleared
+
+	states := make([]string, 0, 10)
+	for round := 0; round < 10; round++ {
+		if round == 9 {
+			p.exp.SetFault(1, Fault{}) // heal before the second probe
+		}
+		p.publish(t, round, sampleFor(2, 2, round))
+		_, rep := p.round(t)
+		if rep.Arrived < 1 {
+			t.Fatalf("round %d: healthy target missing too: %+v", round, rep)
+		}
+		states = append(states, p.s.Health().Targets[1].Breaker)
+	}
+	// Rounds 0-1 fail closed (trip at the end of round 1), 2-4 skipped
+	// open, 5 probes and fails (re-open), 6-8 skipped, 9 probes and heals.
+	want := []string{"closed", "open", "open", "open", "open", "open", "open", "open", "open", "closed"}
+	for i, w := range want {
+		if states[i] != w {
+			t.Fatalf("breaker after round %d = %q, want %q (all: %v)", i, states[i], w, states)
+		}
+	}
+	h := p.s.Health().Targets[1]
+	if h.BreakerTrips != 2 || h.Probes != 2 || h.SkippedRounds != 6 {
+		t.Fatalf("breaker stats = %+v", h)
+	}
+	// Wire truth: 3 attempts in each of rounds 0-1, 1 probe in rounds 5
+	// and 9 — 8 requests total instead of 10 rounds × 3 attempts.
+	if got := p.reqs[1].Load(); got != 8 {
+		t.Fatalf("dead target received %d requests, want 8", got)
+	}
+	// The healthy peer is untouched by its neighbour's breaker.
+	if got := p.reqs[0].Load(); got != 10 {
+		t.Fatalf("healthy target received %d requests, want 10", got)
+	}
+}
+
+func TestScraperHangHitsDeadlineNotForever(t *testing.T) {
+	p := newTestPipe(t, 2, 2, func(c *Config) {
+		c.RoundTimeout = 300 * time.Millisecond
+		c.TryTimeout = 50 * time.Millisecond
+		c.MaxAttempts = 2
+	})
+	p.publish(t, 0, sampleFor(2, 2, 0))
+	p.exp.SetFault(0, Fault{Mode: FaultHang})
+	start := time.Now()
+	got, rep := p.round(t)
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("hung target stalled the round for %v", d)
+	}
+	if rep.Arrived != 1 || rep.Missing != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if !math.IsNaN(got[0][0]) || math.IsNaN(got[0][1]) {
+		t.Fatal("hang column shape wrong")
+	}
+	if h := p.s.Health().Targets[0]; h.Timeouts < 1 {
+		t.Fatalf("timeouts not counted: %+v", h)
+	}
+}
+
+func TestScraperStaleTargetMarkedDown(t *testing.T) {
+	p := newTestPipe(t, 2, 2, nil)
+	p.publish(t, 0, sampleFor(2, 2, 0))
+	p.round(t) // round 0: fresh, lastTick 0
+	p.exp.SetFault(0, Fault{Mode: FaultStale})
+	p.publish(t, 1, sampleFor(2, 2, 1))
+	p.round(t) // round 1: captures tick 1, still fresh
+	p.publish(t, 2, sampleFor(2, 2, 2))
+	got, _ := p.round(t) // round 2: frozen at tick 1, tolerated once
+	if math.IsNaN(got[0][0]) {
+		t.Fatal("first stale round should still deliver (re-served values)")
+	}
+	if got[0][0] != sampleFor(2, 2, 1)[0][0] {
+		t.Fatalf("stale round served %v, want tick-1 value", got[0][0])
+	}
+	p.publish(t, 3, sampleFor(2, 2, 3))
+	got, rep := p.round(t) // round 3: stale beyond budget → marked down
+	if !math.IsNaN(got[0][0]) || rep.Missing != 1 {
+		t.Fatalf("stale target not marked down: %v %+v", got[0][0], rep)
+	}
+	h := p.s.Health().Targets[0]
+	if h.StaleDrops != 1 || h.BreakerTrips != 0 {
+		t.Fatalf("stale accounting = %+v (breaker must not trip on staleness)", h)
+	}
+	// Recovery: the tick advances again and the target comes back.
+	p.exp.SetFault(0, Fault{})
+	p.publish(t, 4, sampleFor(2, 2, 4))
+	got, rep = p.round(t)
+	if math.IsNaN(got[0][0]) || rep.Missing != 0 {
+		t.Fatalf("recovered stale target still down: %+v", rep)
+	}
+}
+
+func TestAssemblerShapesAndZeroAlloc(t *testing.T) {
+	asm := NewAssembler(3, 2)
+	vecs := [][]float64{{1, 2, 3}, nil}
+	got, err := asm.Assemble(vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0][0] != 1 || got[2][0] != 3 || !math.IsNaN(got[0][1]) || !math.IsNaN(got[2][1]) {
+		t.Fatalf("assembled = %v", got)
+	}
+	if _, err := asm.Assemble([][]float64{{1, 2, 3}}); err == nil {
+		t.Fatal("wrong target count accepted")
+	}
+	if _, err := asm.Assemble([][]float64{{1}, {2}}); err == nil {
+		t.Fatal("short vector accepted")
+	}
+	// The warm assembly path is allocation-free (the scrape analogue of
+	// the zero-alloc KCD contract; asserted in BENCH_core.json too).
+	if allocs := testing.AllocsPerRun(200, func() {
+		if _, err := asm.Assemble(vecs); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("Assemble allocates %v per op, want 0", allocs)
+	}
+}
+
+func TestScraperConfigValidation(t *testing.T) {
+	if _, err := New(Config{KPIs: 3}); err == nil {
+		t.Fatal("no targets accepted")
+	}
+	if _, err := New(Config{Targets: []string{"http://x"}}); err == nil {
+		t.Fatal("zero KPIs accepted")
+	}
+	if got := SelfTargets("http://h:1", 2); got[1] != "http://h:1/db/1/kpis" {
+		t.Fatalf("SelfTargets = %v", got)
+	}
+}

@@ -7,8 +7,11 @@ package server
 import (
 	"encoding/json"
 	"fmt"
+	"log"
 	"net/http"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"dbcatcher/internal/detect"
 	"dbcatcher/internal/feedback"
@@ -16,6 +19,10 @@ import (
 	"dbcatcher/internal/monitor"
 	"dbcatcher/internal/window"
 )
+
+// DefaultRequestTimeout bounds a single API request unless overridden with
+// SetRequestTimeout.
+const DefaultRequestTimeout = 10 * time.Second
 
 // Server wraps an online detector with a JSON HTTP API. It is safe for
 // concurrent use; the feeder goroutine pushes samples while handlers read.
@@ -31,8 +38,15 @@ type Server struct {
 	restoredThrough int
 	// persistence, when set, contributes a block to /api/status.
 	persistence func() interface{}
+	// scrape, when set, contributes the network-collection health block to
+	// /api/status (e.g. scrape.Scraper.Health via SetScrape).
+	scrape func() interface{}
 	// fb, when set, backs the /api/feedback DBA-marking endpoint.
 	fb *feedback.Store
+	// reqTimeout bounds each request served through Handler.
+	reqTimeout time.Duration
+	// panics counts handler panics recovered by the middleware.
+	panics atomic.Int64
 }
 
 // New wraps the online detector. maxHistory bounds the verdict buffer
@@ -41,7 +55,10 @@ func New(o *monitor.Online, unitName string, maxHistory int) *Server {
 	if maxHistory <= 0 {
 		maxHistory = 256
 	}
-	return &Server{online: o, maxHist: maxHistory, unitName: unitName, restoredThrough: -1}
+	return &Server{
+		online: o, maxHist: maxHistory, unitName: unitName,
+		restoredThrough: -1, reqTimeout: DefaultRequestTimeout,
+	}
 }
 
 // SetPersistence attaches a provider whose value is embedded as the
@@ -50,6 +67,22 @@ func (s *Server) SetPersistence(fn func() interface{}) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.persistence = fn
+}
+
+// SetScrape attaches a provider whose value is embedded as the "scrape"
+// block of /api/status (e.g. scrape.Scraper.Health wrapped in a closure).
+func (s *Server) SetScrape(fn func() interface{}) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.scrape = fn
+}
+
+// SetRequestTimeout overrides the per-request bound applied by Handler
+// (call before Handler; 0 disables the bound).
+func (s *Server) SetRequestTimeout(d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reqTimeout = d
 }
 
 // SetFeedback attaches the DBA judgment-record store behind /api/feedback.
@@ -120,7 +153,10 @@ func (s *Server) Push(sample [][]float64) (*monitor.Verdict, error) {
 	return v, nil
 }
 
-// Handler returns the HTTP routing for the API.
+// Handler returns the HTTP routing for the API, hardened for unattended
+// serving: every request is bounded by the configured timeout, and a
+// handler panic is recovered into a JSON 500 (counted in /api/status)
+// instead of tearing down the connection.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealthz)
@@ -130,7 +166,21 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/api/kpis", s.handleKPIs)
 	mux.HandleFunc("/api/explain", s.handleExplain)
 	mux.HandleFunc("/api/feedback", s.handleFeedback)
-	return mux
+	s.mu.Lock()
+	timeout := s.reqTimeout
+	s.mu.Unlock()
+	return Recover(Timeout(mux, timeout), s.recordPanic)
+}
+
+// recordPanic counts a recovered handler panic. The first stack is logged
+// in full; repeats log one line so a panicking endpoint under load cannot
+// flood the journal.
+func (s *Server) recordPanic(v interface{}, stack []byte) {
+	if s.panics.Add(1) == 1 {
+		log.Printf("server: recovered handler panic: %v\n%s", v, stack)
+		return
+	}
+	log.Printf("server: recovered handler panic: %v (stack logged on first occurrence)", v)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v interface{}) {
@@ -182,8 +232,15 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 			"silentRecent":     h.SilentRecent,
 		},
 	}
+	body["server"] = map[string]interface{}{
+		"panics":           s.panics.Load(),
+		"requestTimeoutMs": s.reqTimeout.Milliseconds(),
+	}
 	if s.persistence != nil {
 		body["persistence"] = s.persistence()
+	}
+	if s.scrape != nil {
+		body["scrape"] = s.scrape()
 	}
 	writeJSON(w, http.StatusOK, body)
 }
