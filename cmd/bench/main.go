@@ -28,10 +28,13 @@ import (
 	"dbcatcher/internal/cluster"
 	"dbcatcher/internal/correlate"
 	"dbcatcher/internal/detect"
+	"dbcatcher/internal/feedback"
 	"dbcatcher/internal/kpi"
 	"dbcatcher/internal/mathx"
+	"dbcatcher/internal/relearn"
 	"dbcatcher/internal/scrape"
 	"dbcatcher/internal/store"
+	"dbcatcher/internal/thresholds"
 	"dbcatcher/internal/window"
 	"dbcatcher/internal/workload"
 )
@@ -265,6 +268,35 @@ func main() {
 		}
 	})
 	add(scrapeAssemble)
+
+	// One genome evaluation of the relearn supervisor's holdout fitness:
+	// replay the detector over materialized judgment-record samples whose
+	// providers cache the correlation matrices, so this is the steady-state
+	// per-candidate cost of the background threshold search (the GA pays it
+	// population x generations times per retrain attempt).
+	recs := make([]feedback.Record, 0, 40)
+	for i := 0; i < 40; i++ {
+		recs = append(recs, feedback.Record{Start: i * 14, Size: 20, Actual: i%5 == 0})
+	}
+	samples, droppedRecs := relearn.Materialize(relearn.SeriesSource{U: u.Series}, recs)
+	if len(samples) == 0 {
+		fmt.Fprintln(os.Stderr, "bench: no relearn samples materialized")
+		os.Exit(1)
+	}
+	fit := thresholds.DetectorFitness(samples, window.FlexConfig{})
+	cand := window.DefaultThresholds(kpi.Count)
+	fit(cand) // warm the cached providers so the matrix build is off-path
+	add(measure("relearn/fitness-eval", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if s := fit(cand); s < 0 || s > 1 {
+				b.Fatalf("fitness out of range: %v", s)
+			}
+		}
+	}))
+	if droppedRecs > 0 {
+		fmt.Fprintf(os.Stderr, "relearn/fitness-eval: %d of %d records dropped\n", droppedRecs, len(recs))
+	}
 
 	rep.BuildSpeedupParallel = serialScratch.NsPerOp / parallelScratch.NsPerOp
 	rep.BuildAllocReduction = float64(serialAlloc.AllocsPerOp) / float64(serialScratch.AllocsPerOp)

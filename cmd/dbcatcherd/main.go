@@ -19,6 +19,14 @@
 // second process can run -scrape-addr :9101 -export-only while this one
 // scrapes it via -scrape-targets.
 //
+// With -relearn a supervised background loop adapts the detection
+// thresholds to drift: a Page-Hinkley test on the correlation distance and
+// accumulated DBA corrections trigger a deadline-bounded threshold search,
+// candidates are validated on a held-out split of the judgment records,
+// shadow-judged against the live thresholds for -relearn-shadow-ticks
+// ticks, and promoted only if the verdict-flip rate stays within budget —
+// otherwise they are rolled back and the live thresholds stand untouched.
+//
 // Usage:
 //
 //	dbcatcherd -addr :8080 -profile tencent-irregular -speedup 100 \
@@ -53,6 +61,7 @@ import (
 	"dbcatcher/internal/kpi"
 	"dbcatcher/internal/mathx"
 	"dbcatcher/internal/monitor"
+	"dbcatcher/internal/relearn"
 	"dbcatcher/internal/scrape"
 	"dbcatcher/internal/server"
 	"dbcatcher/internal/store"
@@ -95,6 +104,11 @@ func main() {
 		scrapeStale    = flag.Int("scrape-stale-rounds", 3, "rounds a target may re-serve the same tick before it is marked down")
 		scrapeConc     = flag.Int("scrape-concurrency", 0, "scrape fan-out bound (0 = all targets, capped at 16)")
 		scrapeFaults   = flag.String("scrape-fault", "", "exporter fault script: db:mode[:count],... (modes: hang, 5xx, truncate, garbage, drop, flap, stale)")
+
+		relearnOn     = flag.Bool("relearn", false, "enable the drift-triggered adaptive threshold relearning supervisor")
+		relearnDL     = flag.Duration("relearn-deadline", 30*time.Second, "wall-clock budget for one background threshold search")
+		relearnCool   = flag.Duration("relearn-cooldown", 2*time.Minute, "minimum gap between retrain attempts (converted to ticks at the replay rate)")
+		relearnShadow = flag.Int("relearn-shadow-ticks", 100, "live ticks a validated candidate is shadow-judged before promotion")
 	)
 	flag.Parse()
 
@@ -267,6 +281,37 @@ func main() {
 		fb = feedback.NewStore(fbCap)
 	}
 	srv.SetFeedback(fb)
+
+	// Adaptive relearning (optional): a supervised background loop watches
+	// the correlation-distance drift signal and accumulated DBA corrections,
+	// re-runs the threshold search in an isolated deadline-bounded
+	// goroutine, validates candidates on a held-out split, shadow-judges
+	// survivors on live traffic, and only then swaps thresholds atomically.
+	// Every failure mode (panic, deadline, regression, flip-budget breach)
+	// leaves the live thresholds untouched.
+	var sup *relearn.Supervisor
+	if *relearnOn && !*exportOnly {
+		// The cooldown flag is wall-clock; the supervisor counts collection
+		// ticks, which arrive every 5s/speedup.
+		cooldownTicks := int(float64(*relearnCool) * *speedup / float64(5*time.Second))
+		if cooldownTicks < 1 {
+			cooldownTicks = 1
+		}
+		sup = relearn.NewSupervisor(relearn.Config{
+			Q:             kpi.Count,
+			Deadline:      *relearnDL,
+			CooldownTicks: cooldownTicks,
+			ShadowTicks:   *relearnShadow,
+			Seed:          *seed + 5,
+		}, online, fb, relearn.SeriesSource{U: u.Series})
+		if pers != nil {
+			sup.SetRecorder(pers)
+		}
+		srv.SetRelearn(func() interface{} { return sup.Status() }, sup.TriggerManual)
+		log.Printf("relearn supervisor: deadline %v, cooldown %d ticks, shadow %d ticks",
+			*relearnDL, cooldownTicks, *relearnShadow)
+	}
+
 	if resume >= *horizon {
 		log.Printf("recovered state already covers the %d-tick horizon; serving history only", *horizon)
 	}
@@ -351,6 +396,9 @@ func main() {
 				log.Printf("push: %v", err)
 				return
 			}
+			if sup != nil {
+				sup.ObserveVerdict(v)
+			}
 			if v != nil {
 				switch {
 				case v.Health == detect.HealthSkipped:
@@ -410,6 +458,11 @@ func main() {
 		}
 		if err := httpSrv.Shutdown(drainCtx); err != nil {
 			log.Printf("shutdown: %v", err)
+		}
+		if sup != nil {
+			// Cancel any in-flight search and join its goroutine before the
+			// final flush so the snapshot reflects a settled judge.
+			sup.Stop()
 		}
 		if pers != nil {
 			if err := pers.Flush(online); err != nil {

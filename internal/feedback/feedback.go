@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sync"
 
+	"dbcatcher/internal/mathx"
 	"dbcatcher/internal/metrics"
 	"dbcatcher/internal/thresholds"
 	"dbcatcher/internal/window"
@@ -37,11 +38,12 @@ type Journal interface {
 // Store keeps the most recent judgment records in a bounded ring. It is
 // safe for concurrent use.
 type Store struct {
-	mu      sync.Mutex
-	recs    []Record
-	head    int
-	size    int
-	journal Journal
+	mu       sync.Mutex
+	recs     []Record
+	head     int
+	size     int
+	appended int
+	journal  Journal
 }
 
 // NewStore returns a store holding up to capacity records.
@@ -86,6 +88,7 @@ func (s *Store) Add(r Record) {
 }
 
 func (s *Store) add(r Record) {
+	s.appended++
 	if s.size < len(s.recs) {
 		s.recs[(s.head+s.size)%len(s.recs)] = r
 		s.size++
@@ -93,6 +96,16 @@ func (s *Store) add(r Record) {
 	}
 	s.recs[s.head] = r
 	s.head = (s.head + 1) % len(s.recs)
+}
+
+// Appended returns the number of records ever added to the store
+// (including preloads and records since evicted). The monotone counter
+// lets the relearning supervisor measure label arrival between attempts
+// without being confused by ring eviction.
+func (s *Store) Appended() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.appended
 }
 
 // Len returns the number of stored records.
@@ -127,6 +140,59 @@ func (s *Store) Snapshot() []Record {
 		out[i] = s.recs[(s.head+i)%len(s.recs)]
 	}
 	return out
+}
+
+// Split partitions the stored records into a training set and a held-out
+// validation set, oldest first within each. The holdout receives
+// floor(ratio * Len()) records — at least one when 0 < ratio and at least
+// two records exist — chosen by a seeded Fisher-Yates permutation, so the
+// split is deterministic for a given (contents, seed) pair and the two
+// slices are always disjoint. Both slices are copies; mutating them never
+// touches the ring.
+func (s *Store) Split(ratio float64, seed uint64) (train, holdout []Record) {
+	all := s.Snapshot()
+	if ratio < 0 {
+		ratio = 0
+	}
+	if ratio > 1 {
+		ratio = 1
+	}
+	h := int(ratio * float64(len(all)))
+	if h == 0 && ratio > 0 && len(all) >= 2 {
+		h = 1
+	}
+	if h == 0 {
+		return all, nil
+	}
+	if h >= len(all) {
+		return nil, all
+	}
+	held := make([]bool, len(all))
+	for _, i := range mathx.NewRNG(seed).Perm(len(all))[:h] {
+		held[i] = true
+	}
+	train = make([]Record, 0, len(all)-h)
+	holdout = make([]Record, 0, h)
+	for i, r := range all {
+		if held[i] {
+			holdout = append(holdout, r)
+		} else {
+			train = append(train, r)
+		}
+	}
+	return train, holdout
+}
+
+// Corrections counts the DBA corrections — records whose marking
+// contradicts the detector's verdict — among the n most recent records.
+func (s *Store) Corrections(n int) int {
+	c := 0
+	for _, r := range s.Recent(n) {
+		if r.Predicted != r.Actual {
+			c++
+		}
+	}
+	return c
 }
 
 // Confusion scores the n most recent records.

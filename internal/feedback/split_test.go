@@ -1,0 +1,140 @@
+package feedback
+
+import (
+	"reflect"
+	"testing"
+)
+
+func fillStore(cap, n int) *Store {
+	s := NewStore(cap)
+	for i := 0; i < n; i++ {
+		s.Add(Record{Start: i, Size: 20, Predicted: i%3 == 0, Actual: i%2 == 0})
+	}
+	return s
+}
+
+func TestSplitDeterministicDisjointOrdered(t *testing.T) {
+	s := fillStore(64, 40)
+	train1, hold1 := s.Split(0.3, 11)
+	train2, hold2 := s.Split(0.3, 11)
+	if !reflect.DeepEqual(train1, train2) || !reflect.DeepEqual(hold1, hold2) {
+		t.Fatal("same ratio+seed must produce the same split")
+	}
+	if len(train1)+len(hold1) != 40 {
+		t.Fatalf("split sizes %d+%d != 40", len(train1), len(hold1))
+	}
+	if len(hold1) != 12 { // floor(0.3 * 40)
+		t.Fatalf("holdout size %d, want 12", len(hold1))
+	}
+	// Disjoint (Start values are unique here) and order-preserving: both
+	// halves must be strictly increasing subsequences of the snapshot.
+	seen := map[int]bool{}
+	for _, half := range [][]Record{train1, hold1} {
+		last := -1
+		for _, r := range half {
+			if seen[r.Start] {
+				t.Fatalf("record %d appears in both halves", r.Start)
+			}
+			seen[r.Start] = true
+			if r.Start <= last {
+				t.Fatalf("half not order-preserving: %d after %d", r.Start, last)
+			}
+			last = r.Start
+		}
+	}
+	// A different seed should draw a different holdout (40 choose 12 makes
+	// a collision effectively impossible).
+	_, hold3 := s.Split(0.3, 12)
+	if reflect.DeepEqual(hold1, hold3) {
+		t.Fatal("different seeds drew the identical holdout")
+	}
+}
+
+func TestSplitAfterEviction(t *testing.T) {
+	// Overfill a small ring: the split must draw only from the retained
+	// records, never the evicted prefix.
+	s := fillStore(8, 20)
+	train, hold := s.Split(0.25, 5)
+	if len(train)+len(hold) != 8 {
+		t.Fatalf("split sizes %d+%d != 8 retained", len(train), len(hold))
+	}
+	if len(hold) != 2 {
+		t.Fatalf("holdout size %d, want 2", len(hold))
+	}
+	for _, half := range [][]Record{train, hold} {
+		for _, r := range half {
+			if r.Start < 12 {
+				t.Fatalf("evicted record %d surfaced in split", r.Start)
+			}
+		}
+	}
+}
+
+func TestSplitEdgeRatios(t *testing.T) {
+	s := fillStore(16, 10)
+	if train, hold := s.Split(0, 1); len(train) != 10 || hold != nil {
+		t.Fatalf("ratio 0: %d/%d", len(train), len(hold))
+	}
+	if train, hold := s.Split(-2, 1); len(train) != 10 || hold != nil {
+		t.Fatalf("negative ratio clamps to 0: %d/%d", len(train), len(hold))
+	}
+	if train, hold := s.Split(1, 1); train != nil || len(hold) != 10 {
+		t.Fatalf("ratio 1: %d/%d", len(train), len(hold))
+	}
+	if train, hold := s.Split(5, 1); train != nil || len(hold) != 10 {
+		t.Fatalf("ratio > 1 clamps to 1: %d/%d", len(train), len(hold))
+	}
+	// A tiny positive ratio still holds out at least one record when two
+	// or more exist, so the holdout fitness is never vacuously empty.
+	if _, hold := s.Split(0.01, 1); len(hold) != 1 {
+		t.Fatalf("tiny ratio holdout %d, want 1", len(hold))
+	}
+	empty := NewStore(4)
+	if train, hold := empty.Split(0.5, 1); len(train) != 0 || len(hold) != 0 {
+		t.Fatalf("empty store split: %v/%v", train, hold)
+	}
+	one := fillStore(4, 1)
+	if train, hold := one.Split(0.3, 1); len(train) != 1 || hold != nil {
+		t.Fatalf("single record must stay in train: %d/%d", len(train), len(hold))
+	}
+}
+
+func TestAppendedCountsEvicted(t *testing.T) {
+	s := fillStore(4, 10)
+	if s.Appended() != 10 {
+		t.Fatalf("Appended = %d, want 10", s.Appended())
+	}
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", s.Len())
+	}
+	pre := NewStoreFrom(4, []Record{{Start: 1}, {Start: 2}})
+	if pre.Appended() != 2 {
+		t.Fatalf("preloaded Appended = %d, want 2", pre.Appended())
+	}
+}
+
+func TestCorrections(t *testing.T) {
+	s := NewStore(16)
+	// 3 corrections (Predicted != Actual) in the last 5 records.
+	for _, r := range []Record{
+		{Predicted: true, Actual: false},
+		{Predicted: true, Actual: true},
+		{Predicted: false, Actual: true},
+		{Predicted: false, Actual: false},
+		{Predicted: true, Actual: false},
+	} {
+		s.Add(r)
+	}
+	if got := s.Corrections(5); got != 3 {
+		t.Fatalf("Corrections(5) = %d, want 3", got)
+	}
+	if got := s.Corrections(1); got != 1 {
+		t.Fatalf("Corrections(1) = %d, want 1", got)
+	}
+	if got := s.Corrections(99); got != 3 {
+		t.Fatalf("Corrections(99) = %d, want 3", got)
+	}
+	if got := s.Corrections(0); got != 0 {
+		t.Fatalf("Corrections(0) = %d, want 0", got)
+	}
+}

@@ -229,6 +229,12 @@ type Verdict struct {
 	// GapCells counts the collector gaps inside the judged window (for
 	// HealthSkipped verdicts it counts nothing — the range was not judged).
 	GapCells int
+	// MeanCorr is the mean pairwise correlation score across the round's
+	// KPI matrices, over pairs of active databases — the live signal the
+	// drift detector watches (a workload shift pushes the whole
+	// distribution down long before verdicts flip). NaN for skipped
+	// rounds, where nothing was measured.
+	MeanCorr float64
 }
 
 // DegradedConfig tunes the self-healing behaviour of the online judge.
@@ -310,6 +316,10 @@ type Online struct {
 	reactivations    int
 	degradedVerdicts int
 	skippedRounds    int
+
+	// shadow, when non-nil, is a candidate threshold set being compared
+	// against the live one on every resolved round (see shadow.go).
+	shadow *shadowState
 
 	// persister, when set, receives durable-state hooks (see persist.go).
 	persister Persister
@@ -455,6 +465,10 @@ func (o *Online) SetThresholds(t window.Thresholds) error {
 	}
 	o.mu.Lock()
 	defer o.mu.Unlock()
+	return o.setThresholdsLocked(t)
+}
+
+func (o *Online) setThresholdsLocked(t window.Thresholds) error {
 	o.cfg.Thresholds = t.Clone()
 	if o.persister != nil {
 		// Persist under the same mutex that guards Push: the durable
@@ -537,7 +551,7 @@ func countActive(active []bool, dbs int) int {
 // skipVerdict emits a HealthSkipped verdict covering [start, start+size)
 // and resets the round machinery.
 func (o *Online) skipVerdict(start, size int) *Verdict {
-	v := &Verdict{Tick: o.proc.Ticks()}
+	v := &Verdict{Tick: o.proc.Ticks(), MeanCorr: math.NaN()}
 	v.Start = start
 	v.Size = size
 	v.AbnormalDB = -1
@@ -616,7 +630,8 @@ func (o *Online) pushLocked(sample [][]float64) (*Verdict, error) {
 	}
 	exhausted := round == window.Observable && final == o.cfg.Flex.ExhaustState && !o.cfg.Flex.Disabled
 	finals := detect.FinalizeStates(states, o.cfg.Flex, exhausted)
-	v := &Verdict{Tick: o.proc.Ticks(), GapCells: stats.Gaps}
+	o.observeShadow(mats, finals, cfg, kpis, dbs)
+	v := &Verdict{Tick: o.proc.Ticks(), GapCells: stats.Gaps, MeanCorr: meanPairScore(mats, active)}
 	v.Start = o.roundStart
 	v.Size = size
 	v.Expansions = o.expansions

@@ -1,0 +1,140 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"testing"
+
+	"dbcatcher/internal/kpi"
+	"dbcatcher/internal/window"
+)
+
+func postThresholds(t *testing.T, url string, th window.Thresholds) (int, map[string]interface{}) {
+	t.Helper()
+	buf, err := json.Marshal(map[string]interface{}{
+		"alpha": th.Alpha, "theta": th.Theta, "maxTolerance": th.MaxTolerance,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/api/thresholds", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body map[string]interface{}
+	json.NewDecoder(resp.Body).Decode(&body)
+	return resp.StatusCode, body
+}
+
+func TestThresholdsPostRejectsOutOfRange(t *testing.T) {
+	_, ts := newTestServer(t)
+	cases := []struct {
+		name   string
+		mutate func(*window.Thresholds)
+	}{
+		{"alpha above domain", func(th *window.Thresholds) { th.Alpha[3] = 2.5 }},
+		{"alpha below domain", func(th *window.Thresholds) { th.Alpha[0] = -0.4 }},
+		{"theta out of range", func(th *window.Thresholds) { th.Theta = 5 }},
+		{"tolerance out of range", func(th *window.Thresholds) { th.MaxTolerance = 99 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			th := window.DefaultThresholds(kpi.Count)
+			tc.mutate(&th)
+			code, body := postThresholds(t, ts.URL, th)
+			if code != http.StatusBadRequest {
+				t.Fatalf("status = %d, want 400", code)
+			}
+			if msg, _ := body["error"].(string); msg == "" {
+				t.Fatalf("400 body %v carries no error reason", body)
+			}
+		})
+	}
+	// A set inside the searchable domain still lands.
+	good := window.DefaultThresholds(kpi.Count)
+	good.Theta = 0.22
+	if code, _ := postThresholds(t, ts.URL, good); code != http.StatusOK {
+		t.Fatalf("in-range thresholds status = %d", code)
+	}
+}
+
+func TestRelearnEndpointDisabled(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/api/relearn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET without supervisor = %d, want 404", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/api/relearn", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("POST without supervisor = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestRelearnEndpointStatusAndTrigger(t *testing.T) {
+	s, ts := newTestServer(t)
+	triggerErr := error(nil)
+	triggers := 0
+	s.SetRelearn(
+		func() interface{} { return map[string]interface{}{"state": "idle", "attempts": 3} },
+		func() error { triggers++; return triggerErr },
+	)
+
+	var status map[string]interface{}
+	resp := getJSON(t, ts.URL+"/api/relearn", &status)
+	if resp.StatusCode != http.StatusOK || status["state"] != "idle" {
+		t.Fatalf("GET = %d %v", resp.StatusCode, status)
+	}
+
+	resp2, err := http.Post(ts.URL+"/api/relearn", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusAccepted || triggers != 1 {
+		t.Fatalf("POST = %d (triggers %d), want 202", resp2.StatusCode, triggers)
+	}
+
+	triggerErr = errors.New("attempt 2 already in flight")
+	resp3, err := http.Post(ts.URL+"/api/relearn", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var conflict map[string]interface{}
+	json.NewDecoder(resp3.Body).Decode(&conflict)
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusConflict {
+		t.Fatalf("refused POST = %d, want 409", resp3.StatusCode)
+	}
+	if msg, _ := conflict["error"].(string); msg == "" {
+		t.Fatalf("409 body %v carries no error", conflict)
+	}
+
+	// Unsupported method.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/api/relearn", nil)
+	resp4, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp4.Body.Close()
+	if resp4.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("DELETE = %d, want 405", resp4.StatusCode)
+	}
+
+	// The status endpoint embeds the same block.
+	var full map[string]interface{}
+	getJSON(t, ts.URL+"/api/status", &full)
+	if _, ok := full["relearn"]; !ok {
+		t.Fatal("/api/status missing relearn block")
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"dbcatcher/internal/feedback"
 	"dbcatcher/internal/kpi"
 	"dbcatcher/internal/monitor"
+	"dbcatcher/internal/thresholds"
 	"dbcatcher/internal/window"
 )
 
@@ -43,6 +44,10 @@ type Server struct {
 	scrape func() interface{}
 	// fb, when set, backs the /api/feedback DBA-marking endpoint.
 	fb *feedback.Store
+	// relearnStatus and relearnTrigger, when set, back /api/relearn and
+	// the relearn block of /api/status (e.g. relearn.Supervisor).
+	relearnStatus  func() interface{}
+	relearnTrigger func() error
 	// reqTimeout bounds each request served through Handler.
 	reqTimeout time.Duration
 	// panics counts handler panics recovered by the middleware.
@@ -90,6 +95,16 @@ func (s *Server) SetFeedback(fb *feedback.Store) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.fb = fb
+}
+
+// SetRelearn attaches the relearning supervisor's surface: status backs
+// GET /api/relearn and the "relearn" block of /api/status, trigger backs
+// POST /api/relearn (manual retrain). Either may be nil.
+func (s *Server) SetRelearn(status func() interface{}, trigger func() error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.relearnStatus = status
+	s.relearnTrigger = trigger
 }
 
 // RestoreHistory seeds the verdict buffer from persisted verdicts (oldest
@@ -166,6 +181,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/api/kpis", s.handleKPIs)
 	mux.HandleFunc("/api/explain", s.handleExplain)
 	mux.HandleFunc("/api/feedback", s.handleFeedback)
+	mux.HandleFunc("/api/relearn", s.handleRelearn)
 	s.mu.Lock()
 	timeout := s.reqTimeout
 	s.mu.Unlock()
@@ -242,7 +258,39 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	if s.scrape != nil {
 		body["scrape"] = s.scrape()
 	}
+	if s.relearnStatus != nil {
+		body["relearn"] = s.relearnStatus()
+	}
 	writeJSON(w, http.StatusOK, body)
+}
+
+// handleRelearn exposes the relearning supervisor: GET returns its status,
+// POST triggers a manual retrain (202 when accepted, 409 when an attempt
+// is already in flight or the supervisor refuses).
+func (s *Server) handleRelearn(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	status, trigger := s.relearnStatus, s.relearnTrigger
+	s.mu.Unlock()
+	switch r.Method {
+	case http.MethodGet:
+		if status == nil {
+			http.Error(w, "relearning not enabled", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, http.StatusOK, status())
+	case http.MethodPost:
+		if trigger == nil {
+			http.Error(w, "relearning not enabled", http.StatusNotFound)
+			return
+		}
+		if err := trigger(); err != nil {
+			writeJSON(w, http.StatusConflict, map[string]string{"error": err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusAccepted, map[string]string{"status": "retrain started"})
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
 }
 
 // handleFeedback lets a DBA mark judgment records (POST) and inspect
@@ -343,6 +391,13 @@ func (s *Server) handleThresholds(w http.ResponseWriter, r *http.Request) {
 		}
 		th := window.Thresholds{
 			Alpha: body.Alpha, Theta: body.Theta, MaxTolerance: body.MaxTolerance,
+		}
+		// Refuse operator-supplied values the threshold search itself could
+		// never produce — NaN/Inf or outside the searchable domain — before
+		// they reach the live judge (and, with persistence on, the WAL).
+		if err := thresholds.DefaultRanges().Contains(th); err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			return
 		}
 		s.mu.Lock()
 		err := s.online.SetThresholds(th)

@@ -23,6 +23,13 @@ func FuzzDecodeRecord(f *testing.F) {
 		{Type: RecThresholds, Thresholds: ThresholdsRecord{
 			Tick: 60, Alpha: []float64{0.65, 0.7}, Theta: 0.25, MaxTolerance: 2,
 		}},
+		{Type: RecRelearn, Relearn: RelearnRecord{
+			Tick: 120, Attempt: 2, TrainRecords: 35, HoldoutRecords: 15,
+			Event: 5, Fitness: 0.91, Baseline: 0.88, FlipRate: 0.05,
+		}},
+		{Type: RecRelearn, Relearn: RelearnRecord{
+			Tick: 80, Attempt: 1, Event: 2, Fitness: -1, Baseline: -1, FlipRate: -1,
+		}},
 	} {
 		f.Add(appendPayload(nil, &r))
 	}

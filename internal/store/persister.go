@@ -6,11 +6,13 @@ package store
 
 import (
 	"fmt"
+	"math"
 	"sync"
 
 	"dbcatcher/internal/detect"
 	"dbcatcher/internal/feedback"
 	"dbcatcher/internal/monitor"
+	"dbcatcher/internal/relearn"
 	"dbcatcher/internal/window"
 )
 
@@ -129,6 +131,21 @@ func (r *Recovered) DurableTick() int {
 	return t
 }
 
+// RelearnEvents returns every relearn lifecycle record still on disk, in
+// sequence order. How far back it reaches is bounded by segment retention.
+func (r *Recovered) RelearnEvents() []RelearnRecord {
+	if r == nil {
+		return nil
+	}
+	var out []RelearnRecord
+	for _, rec := range r.Records {
+		if rec.Type == RecRelearn {
+			out = append(out, rec.Relearn)
+		}
+	}
+	return out
+}
+
 // LastCounters returns the newest persisted health-counter sample.
 func (r *Recovered) LastCounters() CountersRecord {
 	var c CountersRecord
@@ -217,6 +234,7 @@ type Persister struct {
 	suppressed       uint64
 	feedbackRecs     uint64
 	thresholdUpdates uint64
+	relearnEvents    uint64
 	errors           uint64
 	lastErr          string
 }
@@ -303,6 +321,36 @@ func (p *Persister) PersistThresholds(t window.Thresholds, ctx monitor.PersistCo
 	p.snapshot(ctx.Export(), ctx.Health())
 }
 
+// RecordRelearn implements relearn.Recorder: lifecycle transitions are
+// journaled so a promotion's provenance (trigger, attempt, holdout scores,
+// shadow flip rate) survives a crash. Non-finite scores are stored as -1;
+// every valid score is non-negative, so the sentinel is unambiguous.
+func (p *Persister) RecordRelearn(ev relearn.Event) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, err := p.st.AppendRelearn(RelearnRecord{
+		Tick:           ev.Tick,
+		Attempt:        ev.Attempt,
+		TrainRecords:   ev.TrainRecords,
+		HoldoutRecords: ev.HoldoutRecords,
+		Event:          uint8(ev.Kind),
+		Fitness:        sanitizeScore(ev.Fitness),
+		Baseline:       sanitizeScore(ev.Baseline),
+		FlipRate:       sanitizeScore(ev.FlipRate),
+	})
+	p.noteErr(err)
+	if err == nil {
+		p.relearnEvents++
+	}
+}
+
+func sanitizeScore(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return -1
+	}
+	return v
+}
+
 // JournalRecord implements feedback.Journal.
 func (p *Persister) JournalRecord(r feedback.Record) {
 	p.mu.Lock()
@@ -365,6 +413,7 @@ type Status struct {
 	Suppressed       uint64  `json:"suppressedReplays"`
 	FeedbackRecords  uint64  `json:"feedbackRecords"`
 	ThresholdUpdates uint64  `json:"thresholdUpdates"`
+	RelearnEvents    uint64  `json:"relearnEvents"`
 	Errors           uint64  `json:"errors"`
 	LastError        string  `json:"lastError,omitempty"`
 	Store            Metrics `json:"store"`
@@ -382,6 +431,7 @@ func (p *Persister) Status() interface{} {
 		Suppressed:       p.suppressed,
 		FeedbackRecords:  p.feedbackRecs,
 		ThresholdUpdates: p.thresholdUpdates,
+		RelearnEvents:    p.relearnEvents,
 		Errors:           p.errors,
 		LastError:        p.lastErr,
 	}

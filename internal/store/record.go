@@ -28,6 +28,8 @@ const (
 	RecCounters RecordType = 3
 	// RecThresholds is an applied judgment-threshold swap.
 	RecThresholds RecordType = 4
+	// RecRelearn is a relearning-supervisor lifecycle transition.
+	RecRelearn RecordType = 5
 )
 
 // Decoder sanity bounds: a record claiming more than these is corrupt, not
@@ -79,6 +81,21 @@ type ThresholdsRecord struct {
 	MaxTolerance int
 }
 
+// RelearnRecord is one relearning-supervisor lifecycle transition
+// (started/failed/rejected/shadowing/promoted/rolled back). The persist
+// layer stores non-finite scores as -1 (every real score is non-negative);
+// the free-text failure reason is not persisted.
+type RelearnRecord struct {
+	Tick           int
+	Attempt        int
+	TrainRecords   int
+	HoldoutRecords int
+	Event          uint8
+	Fitness        float64
+	Baseline       float64
+	FlipRate       float64
+}
+
 // Record is the tagged union carried by one WAL frame; Type selects which
 // member is meaningful.
 type Record struct {
@@ -87,6 +104,7 @@ type Record struct {
 	Feedback   FeedbackRecord
 	Counters   CountersRecord
 	Thresholds ThresholdsRecord
+	Relearn    RelearnRecord
 }
 
 // SeqRecord is a replayed record with its log sequence number (1-based,
@@ -162,6 +180,24 @@ func (r *Record) validate() error {
 			}
 		}
 		return checkFloat("theta", t.Theta)
+	case RecRelearn:
+		l := &r.Relearn
+		for _, f := range []struct {
+			name string
+			v    int
+		}{{"tick", l.Tick}, {"attempt", l.Attempt}, {"train records", l.TrainRecords}, {"holdout records", l.HoldoutRecords}} {
+			if err := checkCount(f.name, f.v); err != nil {
+				return err
+			}
+		}
+		for _, f := range []struct {
+			name string
+			v    float64
+		}{{"fitness", l.Fitness}, {"baseline", l.Baseline}, {"flip rate", l.FlipRate}} {
+			if err := checkFloat(f.name, f.v); err != nil {
+				return err
+			}
+		}
 	default:
 		return fmt.Errorf("store: unknown record type %d", r.Type)
 	}
@@ -222,6 +258,16 @@ func appendPayload(b []byte, r *Record) []byte {
 		}
 		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(t.Theta))
 		b = appendUvarint(b, uint64(t.MaxTolerance))
+	case RecRelearn:
+		l := &r.Relearn
+		b = appendUvarint(b, uint64(l.Tick))
+		b = appendUvarint(b, uint64(l.Attempt))
+		b = appendUvarint(b, uint64(l.TrainRecords))
+		b = appendUvarint(b, uint64(l.HoldoutRecords))
+		b = append(b, l.Event)
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(l.Fitness))
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(l.Baseline))
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(l.FlipRate))
 	default:
 		panic(fmt.Sprintf("store: unknown record type %d", r.Type))
 	}
@@ -373,6 +419,16 @@ func decodePayload(b []byte) (Record, error) {
 		}
 		t.Theta = r.float()
 		t.MaxTolerance = r.count()
+	case RecRelearn:
+		l := &rec.Relearn
+		l.Tick = r.count()
+		l.Attempt = r.count()
+		l.TrainRecords = r.count()
+		l.HoldoutRecords = r.count()
+		l.Event = r.byteVal()
+		l.Fitness = r.float()
+		l.Baseline = r.float()
+		l.FlipRate = r.float()
 	default:
 		return rec, fmt.Errorf("store: unknown record type %d", rec.Type)
 	}

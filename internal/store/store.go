@@ -176,6 +176,11 @@ func (s *Store) AppendThresholds(t ThresholdsRecord) (uint64, error) {
 	return s.append(&Record{Type: RecThresholds, Thresholds: t})
 }
 
+// AppendRelearn logs one relearning-supervisor lifecycle transition.
+func (s *Store) AppendRelearn(l RelearnRecord) (uint64, error) {
+	return s.append(&Record{Type: RecRelearn, Relearn: l})
+}
+
 // LastSeq returns the sequence number of the most recent append (0 before
 // the first).
 func (s *Store) LastSeq() uint64 {

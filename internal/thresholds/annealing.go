@@ -1,6 +1,7 @@
 package thresholds
 
 import (
+	"context"
 	"math"
 
 	"dbcatcher/internal/mathx"
@@ -47,10 +48,21 @@ func (SAA) Name() string { return "SAA" }
 
 // Search implements Searcher.
 func (s SAA) Search(q int, fitness Fitness) Result {
+	res, _ := s.SearchContext(context.Background(), q, fitness)
+	return res
+}
+
+// SearchContext implements ContextSearcher: the annealing walk checks ctx
+// before every step and returns the best candidate found so far on
+// cancellation.
+func (s SAA) SearchContext(ctx context.Context, q int, fitness Fitness) (Result, error) {
 	s = s.withDefaults()
 	rng := mathx.NewRNG(s.Seed)
 	ec := &evalCounter{fn: fitness}
 
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	cur := s.Ranges.random(q, rng)
 	curF := ec.eval(cur)
 	best := scored{t: cur.Clone(), f: curF}
@@ -58,6 +70,9 @@ func (s SAA) Search(q int, fitness Fitness) Result {
 	cooling := math.Pow(s.FinalTemp/s.InitialTemp, 1/float64(s.Steps))
 	temp := s.InitialTemp
 	for step := 0; step < s.Steps; step++ {
+		if err := ctx.Err(); err != nil {
+			return Result{Best: best.t.Clone(), Fitness: best.f, Evaluations: ec.calls}, err
+		}
 		cand := s.neighbour(cur, rng)
 		candF := ec.eval(cand)
 		if accept(curF, candF, temp, rng) {
@@ -66,7 +81,7 @@ func (s SAA) Search(q int, fitness Fitness) Result {
 		}
 		temp *= cooling
 	}
-	return Result{Best: best.t.Clone(), Fitness: best.f, Evaluations: ec.calls}
+	return Result{Best: best.t.Clone(), Fitness: best.f, Evaluations: ec.calls}, nil
 }
 
 // neighbour perturbs one random gene.
@@ -142,6 +157,14 @@ func (Random) Name() string { return "Random" }
 
 // Search implements Searcher.
 func (r Random) Search(q int, fitness Fitness) Result {
+	res, _ := r.SearchContext(context.Background(), q, fitness)
+	return res
+}
+
+// SearchContext implements ContextSearcher: cancellation is observed
+// between trial evaluations; completed trials still compete for the
+// returned best.
+func (r Random) SearchContext(ctx context.Context, q int, fitness Fitness) (Result, error) {
 	r = r.withDefaults()
 	rng := mathx.NewRNG(r.Seed)
 	ec := &evalCounter{fn: fitness}
@@ -149,7 +172,10 @@ func (r Random) Search(q int, fitness Fitness) Result {
 	for i := range trials {
 		trials[i] = r.Ranges.random(q, rng)
 	}
-	fs := ec.evalAll(trials, resolveSearchWorkers(r.Workers))
+	fs, err := ec.evalAllCtx(ctx, trials, resolveSearchWorkers(r.Workers))
+	if err != nil {
+		return Result{Evaluations: ec.calls}, err
+	}
 	var best scored
 	best.f = math.Inf(-1)
 	// Reduce in trial order so ties resolve to the earliest trial, exactly
@@ -157,5 +183,5 @@ func (r Random) Search(q int, fitness Fitness) Result {
 	for i, t := range trials {
 		best = betterOf(best, scored{t: t, f: fs[i]})
 	}
-	return Result{Best: best.t.Clone(), Fitness: best.f, Evaluations: ec.calls}
+	return Result{Best: best.t.Clone(), Fitness: best.f, Evaluations: ec.calls}, nil
 }

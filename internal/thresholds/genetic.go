@@ -1,6 +1,7 @@
 package thresholds
 
 import (
+	"context"
 	"sort"
 
 	"dbcatcher/internal/mathx"
@@ -58,6 +59,14 @@ func (GA) Name() string { return "GA" }
 // replacements via fitness-proportional selection (Eq. 6), single-point
 // crossover, and mutation with learning rate Δ.
 func (g GA) Search(q int, fitness Fitness) Result {
+	res, _ := g.SearchContext(context.Background(), q, fitness)
+	return res
+}
+
+// SearchContext implements ContextSearcher: Search with cancellation
+// observed before the initial scoring, at each generation boundary, and
+// between individual fitness evaluations inside a batch.
+func (g GA) SearchContext(ctx context.Context, q int, fitness Fitness) (Result, error) {
 	g = g.withDefaults()
 	rng := mathx.NewRNG(g.Seed)
 	ec := &evalCounter{fn: fitness}
@@ -70,7 +79,10 @@ func (g GA) Search(q int, fitness Fitness) Result {
 	for i := range genomes {
 		genomes[i] = g.Ranges.random(q, rng)
 	}
-	pop := scoreAll(genomes, ec, workers)
+	pop, err := scoreAllCtx(ctx, genomes, ec, workers)
+	if err != nil {
+		return Result{Evaluations: ec.calls}, err
+	}
 	best := pop[0]
 	for _, s := range pop[1:] {
 		best = betterOf(best, s)
@@ -80,6 +92,9 @@ func (g GA) Search(q int, fitness Fitness) Result {
 		// Retain the historically best genes (Algorithm 2 lines 5-8).
 		for _, s := range pop {
 			best = betterOf(best, s)
+		}
+		if err := ctx.Err(); err != nil {
+			return Result{Best: best.t.Clone(), Fitness: best.f, Evaluations: ec.calls}, err
 		}
 		// Evict poor performers (line 9).
 		sort.Slice(pop, func(i, j int) bool { return pop[i].f > pop[j].f })
@@ -111,23 +126,31 @@ func (g GA) Search(q int, fitness Fitness) Result {
 				brood = append(brood, cb)
 			}
 		}
-		pop = append(pop, scoreAll(brood, ec, workers)...)
+		broodScored, err := scoreAllCtx(ctx, brood, ec, workers)
+		if err != nil {
+			return Result{Best: best.t.Clone(), Fitness: best.f, Evaluations: ec.calls}, err
+		}
+		pop = append(pop, broodScored...)
 	}
 	for _, s := range pop {
 		best = betterOf(best, s)
 	}
-	return Result{Best: best.t.Clone(), Fitness: best.f, Evaluations: ec.calls}
+	return Result{Best: best.t.Clone(), Fitness: best.f, Evaluations: ec.calls}, nil
 }
 
-// scoreAll evaluates a batch of genomes over the worker pool and pairs each
-// with its fitness, in genome order.
-func scoreAll(genomes []window.Thresholds, ec *evalCounter, workers int) []scored {
-	fs := ec.evalAll(genomes, workers)
+// scoreAllCtx evaluates a batch of genomes over the worker pool and pairs
+// each with its fitness, in genome order. On cancellation the partial
+// scores are dropped.
+func scoreAllCtx(ctx context.Context, genomes []window.Thresholds, ec *evalCounter, workers int) ([]scored, error) {
+	fs, err := ec.evalAllCtx(ctx, genomes, workers)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]scored, len(genomes))
 	for i, t := range genomes {
 		out[i] = scored{t: t, f: fs[i]}
 	}
-	return out
+	return out, nil
 }
 
 // crossover swaps the α tails of two parents at a random cut point M in

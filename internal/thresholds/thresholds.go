@@ -11,8 +11,11 @@
 package thresholds
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"runtime"
+	"sync/atomic"
 
 	"dbcatcher/internal/fleet"
 	"dbcatcher/internal/mathx"
@@ -98,6 +101,56 @@ type Searcher interface {
 	Name() string
 }
 
+// ContextSearcher is a Searcher whose search is cancellable: the online
+// relearning supervisor runs searches under a hard deadline, so a runaway
+// search must be stoppable. GA, SAA, and Random all implement it.
+type ContextSearcher interface {
+	Searcher
+	// SearchContext is Search honoring ctx: cancellation is observed
+	// between fitness evaluations (a single evaluation is never
+	// interrupted). With a never-done ctx the Result is identical to
+	// Search's. On cancellation it returns the best candidate found so
+	// far together with ctx's error; callers enforcing a validity
+	// guarantee must discard the Result whenever the error is non-nil
+	// (an early cancellation can surface a zero-value genome).
+	SearchContext(ctx context.Context, q int, fitness Fitness) (Result, error)
+}
+
+// Contains reports whether t lies inside the searchable domain the ranges
+// describe: every α within the mutation-reachable band (the initialization
+// range loosened by 2Δ and clipped to [0, 1]), θ within [ThetaMin,
+// ThetaMax], and the tolerance within [TolMin, TolMax]. Non-finite values
+// are rejected. The live API uses this to refuse operator-supplied
+// thresholds the search itself could never produce.
+func (r Ranges) Contains(t window.Thresholds) error {
+	lo := r.AlphaMin - 2*r.LearningRate
+	if lo < 0 {
+		lo = 0
+	}
+	hi := r.AlphaMax + 2*r.LearningRate
+	if hi > 1 {
+		hi = 1
+	}
+	for i, a := range t.Alpha {
+		if math.IsNaN(a) || math.IsInf(a, 0) {
+			return fmt.Errorf("thresholds: alpha[%d] is not finite", i)
+		}
+		if a < lo || a > hi {
+			return fmt.Errorf("thresholds: alpha[%d]=%v outside [%v, %v]", i, a, lo, hi)
+		}
+	}
+	if math.IsNaN(t.Theta) || math.IsInf(t.Theta, 0) {
+		return fmt.Errorf("thresholds: theta is not finite")
+	}
+	if t.Theta < r.ThetaMin || t.Theta > r.ThetaMax {
+		return fmt.Errorf("thresholds: theta=%v outside [%v, %v]", t.Theta, r.ThetaMin, r.ThetaMax)
+	}
+	if t.MaxTolerance < r.TolMin || t.MaxTolerance > r.TolMax {
+		return fmt.Errorf("thresholds: tolerance %d outside [%d, %d]", t.MaxTolerance, r.TolMin, r.TolMax)
+	}
+	return nil
+}
+
 // scored pairs a genome with its fitness.
 type scored struct {
 	t window.Thresholds
@@ -135,19 +188,37 @@ func (e *evalCounter) eval(t window.Thresholds) float64 {
 // Results land in genome order, and with workers <= 1 the fitness is called
 // strictly in genome order, matching the historical serial searchers.
 func (e *evalCounter) evalAll(genomes []window.Thresholds, workers int) []float64 {
-	e.calls += len(genomes)
+	out, _ := e.evalAllCtx(context.Background(), genomes, workers)
+	return out
+}
+
+// evalAllCtx is evalAll honoring cancellation: ctx is checked before every
+// evaluation (a fitness call in flight is never interrupted). On a nil
+// error the scores are complete and identical to evalAll's at any worker
+// count; on a non-nil error they are partial and must be discarded.
+func (e *evalCounter) evalAllCtx(ctx context.Context, genomes []window.Thresholds, workers int) ([]float64, error) {
 	out := make([]float64, len(genomes))
 	if workers <= 1 {
 		for i, t := range genomes {
+			if err := ctx.Err(); err != nil {
+				return out, err
+			}
 			out[i] = e.fn(t)
+			e.calls++
 		}
-		return out
+		return out, nil
 	}
-	fleet.Each(len(genomes), workers, func(i int) error {
+	var evaluated atomic.Int64
+	err := fleet.Each(len(genomes), workers, func(i int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		out[i] = e.fn(genomes[i])
+		evaluated.Add(1)
 		return nil
 	})
-	return out
+	e.calls += int(evaluated.Load())
+	return out, err
 }
 
 // betterOf returns the higher-fitness candidate, preferring a over ties.
