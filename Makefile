@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench bench-baseline check fuzz
+.PHONY: build test race vet bench bench-baseline bench-diff check fuzz
 
 # Per-target budget for `make fuzz` (the CI smoke job uses the default).
 FUZZTIME ?= 30s
@@ -38,10 +38,18 @@ bench:
 bench-baseline:
 	$(GO) run ./cmd/bench -o BENCH_core.json -benchtime 1s
 
-# Fuzz the two untrusted-input decoders: the tracefile reader and the WAL
-# record decoder. Each target gets $(FUZZTIME).
+# Gate allocs/op against the committed baseline: any benchmark allocating
+# more per op than BENCH_core.json records fails the target. ns/op is
+# host-dependent and deliberately not gated, so a short benchtime suffices.
+bench-diff:
+	$(GO) run ./cmd/bench -diff BENCH_core.json -benchtime 100ms
+
+# Fuzz the untrusted-input decoders (the tracefile reader and the WAL
+# record decoder) and the streaming-vs-exact KCD equivalence. Each target
+# gets $(FUZZTIME).
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzRead -fuzztime $(FUZZTIME) ./internal/tracefile
 	$(GO) test -run '^$$' -fuzz FuzzDecodeRecord -fuzztime $(FUZZTIME) ./internal/store
+	$(GO) test -run '^$$' -fuzz FuzzStreamKCD -fuzztime $(FUZZTIME) ./internal/correlate
 
 check: build vet test

@@ -35,6 +35,7 @@ import (
 	"dbcatcher/internal/scrape"
 	"dbcatcher/internal/store"
 	"dbcatcher/internal/thresholds"
+	"dbcatcher/internal/timeseries"
 	"dbcatcher/internal/window"
 	"dbcatcher/internal/workload"
 )
@@ -92,6 +93,7 @@ func measure(name string, fn func(b *testing.B)) Entry {
 func main() {
 	var (
 		out       = flag.String("o", "", "write JSON to this file instead of stdout")
+		diff      = flag.String("diff", "", "compare allocs/op against this baseline JSON and exit non-zero on regressions instead of writing a report")
 		benchtime = flag.Duration("benchtime", time.Second, "per-benchmark measuring time")
 		win       = flag.Int("window", 60, "correlation window length in ticks")
 	)
@@ -179,6 +181,114 @@ func main() {
 			}
 		}))
 	}
+
+	// The incremental streaming tier. kcd/streaming-push is the per-tick
+	// steady-state cost at capacity: one push (with the subtractive window
+	// slide) plus a full matrix scoring pass from the rolling statistics —
+	// the monitor's per-tick worst case, zero allocations warm.
+	strm, err := correlate.NewStream(kpi.Count, dbs, opts, *win)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	streamSample := make([][]float64, kpi.Count)
+	for k := range streamSample {
+		streamSample[k] = make([]float64, dbs)
+	}
+	streamMats := make([]*correlate.Matrix, kpi.Count)
+	for k := range streamMats {
+		streamMats[k] = correlate.NewMatrix(dbs)
+	}
+	streamTick := 0
+	stage := func() {
+		for k := 0; k < kpi.Count; k++ {
+			for d := 0; d < dbs; d++ {
+				streamSample[k][d] = u.Series.Data[k][d].At(streamTick % 600)
+			}
+		}
+		streamTick++
+	}
+	add(measure("kcd/streaming-push", func(b *testing.B) {
+		b.ReportAllocs()
+		for strm.Len() < *win {
+			stage()
+			if err := strm.Push(streamSample); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := strm.ScoreInto(streamMats, nil); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			stage()
+			if err := strm.Push(streamSample); err != nil {
+				b.Fatal(err)
+			}
+			if err := strm.ScoreInto(streamMats, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	// detect_run/streaming is the full offline pass through a reusable
+	// Streamer: same rounds as detect_run/serial, O(1)-updated correlation
+	// state, and a warm pass allocates nothing.
+	runner, err := detect.NewStreamer(detect.Config{
+		Thresholds: window.DefaultThresholds(kpi.Count), Streaming: true,
+	}, kpi.Count, dbs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	var streamVerdicts []detect.Verdict
+	if streamVerdicts, err = runner.RunAppend(u.Series, streamVerdicts[:0]); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	add(measure("detect_run/streaming", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var runErr error
+			if streamVerdicts, runErr = runner.RunAppend(u.Series, streamVerdicts[:0]); runErr != nil {
+				b.Fatal(runErr)
+			}
+		}
+	}))
+
+	// detect_run/streaming-window is one whole W-point judgment round —
+	// the paper's maximum window over the standard 14x5 unit — through the
+	// streaming tier: the per-round detection cost the online monitor pays,
+	// sub-millisecond with zero allocations.
+	winUnit := timeseries.NewUnitSeries("win", kpi.Count, dbs)
+	for k := 0; k < kpi.Count; k++ {
+		for d := 0; d < dbs; d++ {
+			winUnit.Data[k][d].Values = append([]float64(nil), u.Series.Data[k][d].Values[:*win]...)
+		}
+	}
+	winRunner, err := detect.NewStreamer(detect.Config{
+		Thresholds: window.DefaultThresholds(kpi.Count),
+		Flex:       window.FlexConfig{Initial: *win, Max: *win, ExhaustState: window.Abnormal},
+		Streaming:  true,
+	}, kpi.Count, dbs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	var winVerdicts []detect.Verdict
+	if winVerdicts, err = winRunner.RunAppend(winUnit, winVerdicts[:0]); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	add(measure("detect_run/streaming-window", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var runErr error
+			if winVerdicts, runErr = winRunner.RunAppend(winUnit, winVerdicts[:0]); runErr != nil {
+				b.Fatal(runErr)
+			}
+		}
+	}))
 
 	// Durable-state paths: the WAL append (per-verdict persistence cost,
 	// no fsync so the framing/encode cost is what's measured) and a full
@@ -303,6 +413,10 @@ func main() {
 	rep.KCDAllocsScratch = kcdScratch.AllocsPerOp
 	rep.ScrapeAssembleAllocs = scrapeAssemble.AllocsPerOp
 
+	if *diff != "" {
+		os.Exit(diffBaseline(*diff, rep))
+	}
+
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
@@ -319,6 +433,54 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s (speedup %.2fx, alloc reduction %.1fx)\n",
 		*out, rep.BuildSpeedupParallel, rep.BuildAllocReduction)
+}
+
+// diffBaseline compares the fresh run's allocs/op against the committed
+// baseline and returns the process exit code: 1 when any benchmark
+// allocates more per op than the baseline records, 0 otherwise. Only
+// allocs/op is gated — it is deterministic per op, while ns/op moves with
+// the host and load. Benchmarks absent from the baseline are reported but
+// never fail the diff (regenerate the baseline to start gating them).
+func diffBaseline(path string, rep Report) int {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench-diff:", err)
+		return 1
+	}
+	var base Report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "bench-diff: %s: %v\n", path, err)
+		return 1
+	}
+	if base.Schema != Schema {
+		fmt.Fprintf(os.Stderr, "bench-diff: %s has schema %q, want %q\n", path, base.Schema, Schema)
+		return 1
+	}
+	baseline := make(map[string]Entry, len(base.Benches))
+	for _, e := range base.Benches {
+		baseline[e.Name] = e
+	}
+	regressions := 0
+	for _, e := range rep.Benches {
+		b, ok := baseline[e.Name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "bench-diff: %-28s %8d allocs/op (new, not gated)\n", e.Name, e.AllocsPerOp)
+			continue
+		}
+		status := "ok"
+		if e.AllocsPerOp > b.AllocsPerOp {
+			status = "REGRESSION"
+			regressions++
+		}
+		fmt.Fprintf(os.Stderr, "bench-diff: %-28s %8d -> %8d allocs/op  %s\n",
+			e.Name, b.AllocsPerOp, e.AllocsPerOp, status)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "bench-diff: %d allocation regression(s) against %s\n", regressions, path)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "bench-diff: no allocation regressions against %s\n", path)
+	return 0
 }
 
 // randomPair mirrors the repository benchmark's correlated pair generator.

@@ -81,6 +81,7 @@ func main() {
 		foTick    = flag.Int("failover-tick", 0, "tick at which a failover promotes a replica (0 = none)")
 		foTarget  = flag.Int("failover-target", 1, "replica promoted at -failover-tick")
 		conc      = flag.Int("concurrency", 0, "correlation worker pool per window (0 = GOMAXPROCS, 1 = serial; verdicts identical)")
+		streaming = flag.Bool("streaming-kcd", false, "incremental streaming KCD: O(1)-per-tick rolling correlation updates instead of per-round window recomputes (fast-math opt-in, ~1e-9 score bound; gap windows stay exact)")
 
 		faultDropTick = flag.Float64("fault-drop-tick", 0, "probability a whole collection tick is lost")
 		faultDropCell = flag.Float64("fault-drop-cell", 0, "per-cell probability a (KPI, database) point is lost")
@@ -164,6 +165,7 @@ func main() {
 	online, err := monitor.NewOnline(detect.Config{
 		Thresholds: window.DefaultThresholds(kpi.Count),
 		Workers:    *conc,
+		Streaming:  *streaming,
 	}, kpi.Count, *dbs)
 	if err != nil {
 		log.Fatalf("dbcatcherd: %v", err)

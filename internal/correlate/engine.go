@@ -18,6 +18,18 @@ func resolveWorkers(w int) int {
 	return w
 }
 
+// minParallelWork is the smallest score-cell volume (KPIs x database pairs x
+// window points) the engine fans out over goroutines. Below it the pool's
+// spawn/join overhead rivals the build itself: at the paper's detection
+// shape (14 KPIs x 10 pairs x 60 points = 8400 cells, ~20 ns/cell measured)
+// a whole serial build finishes in ~180 us, while waking even a few workers
+// costs tens of microseconds — and on single-core hosts (GOMAXPROCS=1) the
+// fan-out is a pure loss. Results are bit-identical either way: each KPI
+// matrix is filled by exactly one goroutine, so the cutoff only changes
+// scheduling, never scores. Larger fleets (more databases) or longer
+// windows cross the threshold and still parallelize.
+const minParallelWork = 50000
+
 // Engine builds the per-KPI correlation matrices of Eq. 5 over a bounded
 // worker pool. The Q×pairs task grid is sharded per KPI: each worker claims
 // whole KPIs off an atomic counter and fills that matrix alone, so the
@@ -82,6 +94,9 @@ func (e *Engine) BuildMatrices(u *timeseries.UnitSeries, start, n int, active []
 	workers := e.Workers()
 	if workers > u.KPIs {
 		workers = u.KPIs
+	}
+	if pairs := u.Databases * (u.Databases - 1) / 2; u.KPIs*pairs*n < minParallelWork {
+		workers = 1 // small unit: fan-out overhead beats the win (see minParallelWork)
 	}
 	if workers <= 1 {
 		s := e.scratch(u.Databases)

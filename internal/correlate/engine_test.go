@@ -77,6 +77,32 @@ func TestEngineParallelMatchesSerial(t *testing.T) {
 	}
 }
 
+// TestEngineParallelAboveCutoff exercises the goroutine fan-out with a unit
+// large enough to clear minParallelWork (the detection-sized unit in
+// TestEngineParallelMatchesSerial now stays serial by the work cutoff, which
+// is invisible by construction — each KPI matrix is filled by one goroutine
+// either way). The fan-out must stay bit-identical to the serial reference.
+func TestEngineParallelAboveCutoff(t *testing.T) {
+	u := engineTestUnit(14, 12, 60) // 14 KPIs x 66 pairs x 60 points > minParallelWork
+	if work := 14 * (12 * 11 / 2) * 60; work < minParallelWork {
+		t.Fatalf("test unit volume %d no longer clears the cutoff %d", work, minParallelWork)
+	}
+	opts := DetectionOptions()
+	ref, err := NewEngine(opts, 1).BuildMatrices(u, 0, 60, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 3, 16} {
+		got, err := NewEngine(opts, workers).BuildMatrices(u, 0, 60, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !matricesEqual(ref, got) {
+			t.Fatalf("workers=%d diverged from serial build above cutoff", workers)
+		}
+	}
+}
+
 func TestEngineReusedAcrossWindows(t *testing.T) {
 	u := engineTestUnit(6, 4, 120)
 	e := NewEngine(DetectionOptions(), 2)

@@ -5,6 +5,70 @@ import (
 	"testing"
 )
 
+// FuzzStreamKCD drives the streaming tier with byte-derived push/gap/drop
+// sequences on a single pair and checks the invariants the detector relies
+// on: scores stay finite in [-1, 1] and track the exact kernel over the
+// materialized window within the documented fast-math bound (bit-identical
+// whenever the window carries a gap, since that routes the exact kernel).
+func FuzzStreamKCD(f *testing.F) {
+	f.Add([]byte{10, 20, 30, 40, 50, 60, 70, 80})
+	f.Add([]byte{255, 0, 255, 0, 255})
+	f.Add([]byte{1, 2, 3, 254, 4, 5, 253, 6})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) == 0 || len(ops) > 512 {
+			return
+		}
+		const capacity = 24
+		opts := DetectionOptions()
+		st, err := NewStream(1, 2, opts, capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.RebuildEvery = 5
+		var xs, ys []float64 // absolute history
+		sample := [][]float64{{0, 0}}
+		mats := []*Matrix{NewMatrix(2)}
+		for _, op := range ops {
+			switch {
+			case op == 254 && st.Len() > 0:
+				st.Drop(1)
+			case op == 253:
+				st.Invalidate()
+			default:
+				x := float64(op) - 100
+				y := 3 * float64(op%97)
+				if op == 255 {
+					x = math.NaN()
+				}
+				xs = append(xs, x)
+				ys = append(ys, y)
+				sample[0][0], sample[0][1] = x, y
+				if err := st.Push(sample); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if st.Len() == 0 {
+				continue
+			}
+			if err := st.ScoreInto(mats, nil); err != nil {
+				t.Fatal(err)
+			}
+			got := mats[0].At(0, 1)
+			if math.IsNaN(got) || got < -1-1e-9 || got > 1+1e-9 {
+				t.Fatalf("stream score out of range: %v", got)
+			}
+			want, _ := KCDWithDelay(xs[st.Base():st.End()], ys[st.Base():st.End()], opts)
+			if st.GapCells() > 0 {
+				if got != want {
+					t.Fatalf("gap window diverged from exact kernel: %v vs %v", got, want)
+				}
+			} else if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("stream diverged: %v vs exact %v (n=%d)", got, want, st.Len())
+			}
+		}
+	})
+}
+
 // FuzzKCD drives the delay scan with arbitrary byte-derived windows: the
 // score must always be a finite value in [-1, 1] and symmetric, for both
 // the direct and FFT paths.

@@ -96,6 +96,7 @@ func KCDWithDelay(x, y []float64, opts Options) (score float64, delay int) {
 type Scratch struct {
 	xc, yc []float64
 	px, py []float64
+	fft    *mathx.FFTScratch
 	// windows stages per-database window slices during a matrix build.
 	windows [][]float64
 }
@@ -296,13 +297,16 @@ func kcdDirect(xc, yc []float64, m int) (float64, int) {
 }
 
 // kcdFFT computes every lag's numerator with one FFT cross-correlation and
-// the per-lag norms from prefix sums of squares, for O(n log n) total. The
-// cross-correlation itself still allocates its frequency-domain buffers;
-// only the prefix sums come from the scratch.
+// the per-lag norms from prefix sums of squares, for O(n log n) total. Both
+// the frequency-domain buffers and the prefix sums come from the scratch,
+// so a warm FFT delay scan allocates nothing.
 func kcdFFT(xc, yc []float64, m int, s *Scratch) (float64, int) {
 	n := len(xc)
+	if s.fft == nil {
+		s.fft = mathx.NewFFTScratch()
+	}
 	// full[k + n - 1] = sum_i xc[i+k]*yc[i].
-	full := mathx.CrossCorrelateFFT(xc, yc)
+	full := mathx.CrossCorrelateFFTInto(xc, yc, s.fft)
 	// Prefix sums of squares: px[i] = sum of xc[0:i]^2.
 	s.growPrefix(n)
 	px, py := s.px, s.py

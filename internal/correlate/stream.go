@@ -1,0 +1,578 @@
+package correlate
+
+import (
+	"fmt"
+	"math"
+)
+
+// MaxTrackedLag bounds the per-delay rolling-stat depth of a Stream: a
+// delay budget up to this many points is maintained incrementally (O(1)
+// update per tick per stat cell); beyond it a window's delay scan switches
+// to the exact kernel, which the Stream flips to the FFT path — for m >
+// MaxTrackedLag the O(W log W) cross-correlation beats the O(W·m) direct
+// scan, while tracked budgets stay on the direct scan so the gap fallback
+// remains bit-identical to the non-streaming engine.
+const MaxTrackedLag = 16
+
+// DefaultRebuildEvery is the default number of evictions between full
+// rolling-stat rebuilds. Push-only accumulation adds terms in the exact
+// order of a fresh rebuild (bit-identical by construction); only eviction
+// subtracts, and each subtraction can leave one rounding term behind, so
+// the drift after k evictions is bounded by k·ε relative to the largest
+// intermediate sum. Rebuilding every 4096 evictions keeps that residue far
+// below the 1e-12 degeneracy epsilons.
+const DefaultRebuildEvery = 4096
+
+// Stream is the incremental streaming KCD tier: it maintains, per series,
+// rolling sums and sums of squares (full-window plus per-delay suffix and
+// prefix variants) and, per (KPI, database-pair, delay) cell, rolling
+// cross-products, so that after each pushed tick every pair's Eq. 2-4
+// delay scan evaluates from O(1)-updated state instead of an O(W) rescan.
+//
+// Numerical policy (the documented fast-math contract): scores equal the
+// exact kernel's mathematically — KCD is invariant under the per-series
+// positive affine maps that min-max normalization (Eq. 1) applies — but
+// are computed from raw-moment formulas on anchor-shifted samples (each
+// series is shifted by its first windowed value, so catastrophic
+// cancellation of a large mean is avoided). The result differs from the
+// exact recompute by O(ε·κ) where κ ≈ 1 + (window mean offset / window
+// std)² after anchoring — in practice ≤ 1e-9 absolute on detection-scale
+// windows. Push-only (gap-free, no eviction) state is bit-identical to a
+// full rebuild; pairs whose window contains collector gaps are routed to
+// the exact gap-repairing kernel and match the non-streaming engine
+// bit-for-bit.
+//
+// Exact-recompute fallbacks and rebuild triggers:
+//
+//   - gap in either series' window → exact kernel for that pair;
+//   - delay budget beyond MaxTrackedLag (or Options.UseFFT) → exact kernel
+//     with the FFT delay scan;
+//   - eviction-drift checkpoint (RebuildEvery) → all stats marked stale,
+//     rebuilt from the ring on the next score;
+//   - Invalidate (resync / restored-from-snapshot state) → same.
+//
+// A Stream is not safe for concurrent use; the monitor serializes access
+// under its judge mutex.
+type Stream struct {
+	kpis, dbs int
+	series    int // kpis*dbs
+	pairs     int // per-KPI unordered database pairs
+	opts      Options
+	maxLag    int // tracked delay depth; 0 = always use the exact fallback
+	lagStride int // 2*maxLag + 1 cross cells per pair
+	capacity  int
+
+	base int // absolute tick of the window start
+	head int // ring slot of the window start
+	n    int // window length
+
+	buf       []float64 // series-major ring storage, gaps stored as NaN
+	gapCnt    []int     // per-series gap cells in the current window
+	totalGaps int
+
+	anchor   []float64
+	anchored []bool
+	statsOK  []bool
+	sum      []float64
+	sumsq    []float64
+	suf      []float64 // series × maxLag: Σ x'[i], i ∈ [s, n)
+	sufSq    []float64
+	pre      []float64 // series × maxLag: Σ x'[i], i ∈ [0, n-s)
+	preSq    []float64
+
+	crossOK []bool
+	cross   []float64 // (kpis*pairs) × lagStride
+
+	drops int
+	// RebuildEvery overrides the eviction-drift checkpoint interval
+	// (DefaultRebuildEvery); tests shrink it to exercise the rebuild path.
+	RebuildEvery int
+
+	scratch    *Scratch
+	winA, winB []float64
+}
+
+// NewStream builds a streaming scorer for a kpis×dbs unit whose windows
+// never exceed capacity ticks (push auto-evicts the oldest tick beyond
+// that). The per-delay rolling stats are maintained when the delay budget
+// is tracked (0 < MaxDelayPoints <= MaxTrackedLag and UseFFT unset);
+// otherwise every score goes through the exact kernel with the FFT delay
+// scan, still allocation-free after warm-up.
+func NewStream(kpis, dbs int, opts Options, capacity int) (*Stream, error) {
+	if kpis <= 0 || dbs <= 0 {
+		return nil, fmt.Errorf("correlate: non-positive stream shape %dx%d", kpis, dbs)
+	}
+	if capacity <= 0 {
+		return nil, fmt.Errorf("correlate: non-positive stream capacity %d", capacity)
+	}
+	maxLag := 0
+	if !opts.UseFFT && opts.MaxDelayPoints > 0 && opts.MaxDelayPoints <= MaxTrackedLag {
+		maxLag = opts.MaxDelayPoints
+	}
+	st := &Stream{
+		kpis:         kpis,
+		dbs:          dbs,
+		series:       kpis * dbs,
+		pairs:        dbs * (dbs - 1) / 2,
+		opts:         opts,
+		maxLag:       maxLag,
+		lagStride:    2*maxLag + 1,
+		capacity:     capacity,
+		RebuildEvery: DefaultRebuildEvery,
+		scratch:      NewScratch(),
+	}
+	st.buf = make([]float64, st.series*capacity)
+	st.gapCnt = make([]int, st.series)
+	st.anchor = make([]float64, st.series)
+	st.anchored = make([]bool, st.series)
+	st.statsOK = make([]bool, st.series)
+	st.sum = make([]float64, st.series)
+	st.sumsq = make([]float64, st.series)
+	st.suf = make([]float64, st.series*maxLag)
+	st.sufSq = make([]float64, st.series*maxLag)
+	st.pre = make([]float64, st.series*maxLag)
+	st.preSq = make([]float64, st.series*maxLag)
+	st.crossOK = make([]bool, kpis*st.pairs)
+	st.cross = make([]float64, kpis*st.pairs*st.lagStride)
+	st.winA = make([]float64, capacity)
+	st.winB = make([]float64, capacity)
+	st.ResetAt(0)
+	return st, nil
+}
+
+// Shape returns the configured KPI and database counts.
+func (st *Stream) Shape() (kpis, dbs int) { return st.kpis, st.dbs }
+
+// Len returns the current window length in ticks.
+func (st *Stream) Len() int { return st.n }
+
+// Base returns the absolute tick index of the window start.
+func (st *Stream) Base() int { return st.base }
+
+// End returns one past the absolute tick index of the newest windowed tick.
+func (st *Stream) End() int { return st.base + st.n }
+
+// GapCells returns the number of gap cells inside the current window.
+func (st *Stream) GapCells() int { return st.totalGaps }
+
+// ResetAt empties the window and positions its start at the absolute tick
+// index start (a judgment round boundary). All rolling state is cleared.
+func (st *Stream) ResetAt(start int) {
+	st.base = start
+	st.head = 0
+	st.n = 0
+	st.totalGaps = 0
+	st.drops = 0
+	for i := range st.gapCnt {
+		st.gapCnt[i] = 0
+		st.anchored[i] = false
+		st.statsOK[i] = true
+		st.sum[i] = 0
+		st.sumsq[i] = 0
+	}
+	for i := range st.suf {
+		st.suf[i] = 0
+		st.sufSq[i] = 0
+		st.pre[i] = 0
+		st.preSq[i] = 0
+	}
+	for i := range st.crossOK {
+		st.crossOK[i] = true
+	}
+	for i := range st.cross {
+		st.cross[i] = 0
+	}
+}
+
+// Invalidate marks every rolling stat stale without touching the stored
+// samples: the next score rebuilds from the ring. Callers use it after
+// resynchronizing or restoring the window contents from a snapshot, and
+// the eviction-drift checkpoint uses it internally.
+func (st *Stream) Invalidate() {
+	for i := range st.statsOK {
+		st.statsOK[i] = false
+	}
+	for i := range st.crossOK {
+		st.crossOK[i] = false
+	}
+}
+
+// at returns the window's i-th tick (0 = oldest) of the given series.
+func (st *Stream) at(sIdx, i int) float64 {
+	pos := st.head + i
+	if pos >= st.capacity {
+		pos -= st.capacity
+	}
+	return st.buf[sIdx*st.capacity+pos]
+}
+
+// pairIndex maps an unordered database pair (i < j) to its packed offset,
+// matching Matrix's upper-triangle layout.
+func pairIndex(i, j, n int) int {
+	return i*(2*n-i-1)/2 + (j - i - 1)
+}
+
+// Push appends one collection tick: sample[k][d] is KPI k's value on
+// database d, NaN marking a collector gap. The shape must match exactly.
+// When the window is at capacity the oldest tick is evicted first.
+func (st *Stream) Push(sample [][]float64) error {
+	if len(sample) != st.kpis {
+		return fmt.Errorf("correlate: sample has %d KPI rows, want %d", len(sample), st.kpis)
+	}
+	for k, row := range sample {
+		if len(row) != st.dbs {
+			return fmt.Errorf("correlate: KPI %d row has %d databases, want %d", k, len(row), st.dbs)
+		}
+	}
+	if st.n == st.capacity {
+		st.Drop(1)
+	}
+	j := st.n
+	slot := st.head + j
+	if slot >= st.capacity {
+		slot -= st.capacity
+	}
+	// Store the tick (and account gaps) before accumulating: the stat
+	// helpers read back through the ring, so push-time accumulation is the
+	// same code path — and bit-identical to — a full rebuild's replay.
+	for k, row := range sample {
+		for d, v := range row {
+			sIdx := k*st.dbs + d
+			st.buf[sIdx*st.capacity+slot] = v
+			if math.IsNaN(v) {
+				st.gapCnt[sIdx]++
+				st.totalGaps++
+				st.invalidateSeries(k, d)
+			} else if !st.anchored[sIdx] {
+				st.anchor[sIdx] = v
+				st.anchored[sIdx] = true
+			}
+		}
+	}
+	st.n++
+	for sIdx := 0; sIdx < st.series; sIdx++ {
+		if st.statsOK[sIdx] && st.gapCnt[sIdx] == 0 {
+			st.accumSeries(sIdx, j)
+		}
+	}
+	for k := 0; k < st.kpis; k++ {
+		for c, i := k*st.pairs, 0; i < st.dbs; i++ {
+			for jj := i + 1; jj < st.dbs; jj++ {
+				if st.crossOK[c] {
+					st.accumCross(k, c, i, jj, j)
+				}
+				c++
+			}
+		}
+	}
+	return nil
+}
+
+// invalidateSeries marks a gapped series' rolling stats stale along with
+// every cross-product cell that references it.
+func (st *Stream) invalidateSeries(k, d int) {
+	st.statsOK[k*st.dbs+d] = false
+	for e := 0; e < st.dbs; e++ {
+		if e == d {
+			continue
+		}
+		lo, hi := d, e
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		st.crossOK[k*st.pairs+pairIndex(lo, hi, st.dbs)] = false
+	}
+}
+
+// accumSeries folds the window's j-th tick into one series' rolling sums.
+// Both Push and the rebuild path run exactly this, in ascending j order, so
+// push-accumulated state is bit-identical to rebuilt state.
+func (st *Stream) accumSeries(sIdx, j int) {
+	w := st.at(sIdx, j) - st.anchor[sIdx]
+	st.sum[sIdx] += w
+	st.sumsq[sIdx] += w * w
+	off := sIdx * st.maxLag
+	for s := 1; s <= st.maxLag; s++ {
+		if j < s {
+			break
+		}
+		st.suf[off+s-1] += w
+		st.sufSq[off+s-1] += w * w
+		wp := st.at(sIdx, j-s) - st.anchor[sIdx]
+		st.pre[off+s-1] += wp
+		st.preSq[off+s-1] += wp * wp
+	}
+}
+
+// accumCross folds the window's j-th tick into one pair's cross-product
+// cells: lag 0 at offset 0, delay +s (database i's series lagging) at
+// offset s, delay -s at offset maxLag+s.
+func (st *Stream) accumCross(k, c, i, jdb, j int) {
+	a := k*st.dbs + i
+	b := k*st.dbs + jdb
+	base := c * st.lagStride
+	wa := st.at(a, j) - st.anchor[a]
+	wb := st.at(b, j) - st.anchor[b]
+	st.cross[base] += wa * wb
+	for s := 1; s <= st.maxLag; s++ {
+		if j < s {
+			break
+		}
+		st.cross[base+s] += wa * (st.at(b, j-s) - st.anchor[b])
+		st.cross[base+st.maxLag+s] += wb * (st.at(a, j-s) - st.anchor[a])
+	}
+}
+
+// Drop evicts the ticks oldest ticks from the window, updating the rolling
+// stats by subtraction (the drift this introduces is bounded by the
+// RebuildEvery checkpoint).
+func (st *Stream) Drop(ticks int) {
+	for t := 0; t < ticks && st.n > 0; t++ {
+		st.dropOne()
+	}
+}
+
+func (st *Stream) dropOne() {
+	L := st.maxLag
+	for sIdx := 0; sIdx < st.series; sIdx++ {
+		v0 := st.at(sIdx, 0)
+		if math.IsNaN(v0) {
+			st.gapCnt[sIdx]--
+			st.totalGaps--
+			continue // stats were already stale; rebuilt once gap-free
+		}
+		if !st.statsOK[sIdx] {
+			continue
+		}
+		w0 := v0 - st.anchor[sIdx]
+		st.sum[sIdx] -= w0
+		st.sumsq[sIdx] -= w0 * w0
+		off := sIdx * L
+		for s := 1; s <= L; s++ {
+			if st.n <= s {
+				break
+			}
+			ws := st.at(sIdx, s) - st.anchor[sIdx]
+			st.suf[off+s-1] -= ws
+			st.sufSq[off+s-1] -= ws * ws
+			st.pre[off+s-1] -= w0
+			st.preSq[off+s-1] -= w0 * w0
+		}
+	}
+	for k := 0; k < st.kpis; k++ {
+		for c, i := k*st.pairs, 0; i < st.dbs; i++ {
+			for jj := i + 1; jj < st.dbs; jj++ {
+				if st.crossOK[c] {
+					a := k*st.dbs + i
+					b := k*st.dbs + jj
+					base := c * st.lagStride
+					wa0 := st.at(a, 0) - st.anchor[a]
+					wb0 := st.at(b, 0) - st.anchor[b]
+					st.cross[base] -= wa0 * wb0
+					for s := 1; s <= L; s++ {
+						if st.n <= s {
+							break
+						}
+						st.cross[base+s] -= (st.at(a, s) - st.anchor[a]) * wb0
+						st.cross[base+L+s] -= (st.at(b, s) - st.anchor[b]) * wa0
+					}
+				}
+				c++
+			}
+		}
+	}
+	st.head++
+	if st.head == st.capacity {
+		st.head = 0
+	}
+	st.n--
+	st.base++
+	st.drops++
+	if st.drops >= st.RebuildEvery {
+		// Numerical-drift checkpoint: bound the accumulated subtraction
+		// rounding by rebuilding everything from the retained samples.
+		st.Invalidate()
+		st.drops = 0
+	}
+}
+
+// ScoreInto fills the per-KPI correlation matrices for the current window,
+// mirroring Engine.BuildMatrices semantics: active[d] marks participation
+// (nil = all), and a masked pair's score is 0. Matrices must be kpis
+// entries of size dbs; their previous contents are fully overwritten.
+func (st *Stream) ScoreInto(mats []*Matrix, active []bool) error {
+	if len(mats) != st.kpis {
+		return fmt.Errorf("correlate: %d matrices for %d KPIs", len(mats), st.kpis)
+	}
+	for k, m := range mats {
+		if m == nil || m.N != st.dbs {
+			return fmt.Errorf("correlate: matrix %d does not match %d databases", k, st.dbs)
+		}
+	}
+	if active != nil && len(active) != st.dbs {
+		return fmt.Errorf("correlate: active mask has %d entries for %d databases", len(active), st.dbs)
+	}
+	if st.n == 0 {
+		return fmt.Errorf("correlate: empty stream window")
+	}
+	m := st.opts.maxDelay(st.n)
+	incremental := st.maxLag > 0 && m <= st.maxLag
+	for k := 0; k < st.kpis; k++ {
+		for i := 0; i < st.dbs; i++ {
+			for j := i + 1; j < st.dbs; j++ {
+				if active != nil && (!active[i] || !active[j]) {
+					mats[k].Set(i, j, 0)
+					continue
+				}
+				a := k*st.dbs + i
+				b := k*st.dbs + j
+				if !incremental || st.gapCnt[a] > 0 || st.gapCnt[b] > 0 {
+					mats[k].Set(i, j, st.exactPair(a, b))
+					continue
+				}
+				st.ensureSeries(a)
+				st.ensureSeries(b)
+				st.ensureCross(k, i, j)
+				mats[k].Set(i, j, st.scorePair(k, i, j, m))
+			}
+		}
+	}
+	return nil
+}
+
+// ensureSeries rebuilds one series' rolling sums from the ring when stale.
+// The caller guarantees the series' window is gap-free.
+func (st *Stream) ensureSeries(sIdx int) {
+	if st.statsOK[sIdx] {
+		return
+	}
+	st.anchor[sIdx] = st.at(sIdx, 0)
+	st.anchored[sIdx] = true
+	st.sum[sIdx] = 0
+	st.sumsq[sIdx] = 0
+	off := sIdx * st.maxLag
+	for s := 0; s < st.maxLag; s++ {
+		st.suf[off+s] = 0
+		st.sufSq[off+s] = 0
+		st.pre[off+s] = 0
+		st.preSq[off+s] = 0
+	}
+	for j := 0; j < st.n; j++ {
+		st.accumSeries(sIdx, j)
+	}
+	st.statsOK[sIdx] = true
+}
+
+// ensureCross rebuilds one pair's cross-product cells from the ring when
+// stale. Both series' stats (and anchors) must already be fresh.
+func (st *Stream) ensureCross(k, i, j int) {
+	c := k*st.pairs + pairIndex(i, j, st.dbs)
+	if st.crossOK[c] {
+		return
+	}
+	base := c * st.lagStride
+	for s := 0; s < st.lagStride; s++ {
+		st.cross[base+s] = 0
+	}
+	for jj := 0; jj < st.n; jj++ {
+		st.accumCross(k, c, i, j, jj)
+	}
+	st.crossOK[c] = true
+}
+
+// exactPair materializes the pair's windows (gaps as NaN) and scores them
+// with the exact kernel — the fallback for gap-bearing windows and for
+// delay budgets beyond the tracked depth, where the FFT delay scan takes
+// over. Allocation-free once the scratch is warm.
+func (st *Stream) exactPair(a, b int) float64 {
+	x := st.copyWindow(a, st.winA)
+	y := st.copyWindow(b, st.winB)
+	opts := st.opts
+	if !opts.UseFFT && opts.maxDelay(st.n) > MaxTrackedLag {
+		opts.UseFFT = true
+	}
+	score, _ := KCDWithDelayScratch(x, y, opts, st.scratch)
+	return score
+}
+
+// copyWindow linearizes one series' ring contents into dst.
+func (st *Stream) copyWindow(sIdx int, dst []float64) []float64 {
+	row := st.buf[sIdx*st.capacity : (sIdx+1)*st.capacity]
+	dst = dst[:st.n]
+	first := st.capacity - st.head
+	if first >= st.n {
+		copy(dst, row[st.head:st.head+st.n])
+	} else {
+		copy(dst, row[st.head:])
+		copy(dst[first:], row[:st.n-first])
+	}
+	return dst
+}
+
+// scorePair evaluates the Eq. 2-4 delay scan for one gap-free pair from the
+// rolling stats. With Sx/Sxx the overlap's (anchor-shifted) sum and sum of
+// squares and mx the full-window mean, each overlap's centered moments are
+//
+//	num = Sxy − my·Sx − mx·Sy + L·mx·my
+//	n_x = Sxx − 2·mx·Sx + L·mx²
+//
+// which equals the exact kernel's centered accumulation up to rounding; the
+// same tieEps delay ordering and degenerate-window rules apply.
+func (st *Stream) scorePair(k, i, j, m int) float64 {
+	a := k*st.dbs + i
+	b := k*st.dbs + j
+	n := float64(st.n)
+	sumA, sumB := st.sum[a], st.sum[b]
+	mA, mB := sumA/n, sumB/n
+	// tA is the full window's centered energy: Σ(x'−mx)² = Σx'² − mx·Σx'.
+	tA := st.sumsq[a] - mA*sumA
+	tB := st.sumsq[b] - mB*sumB
+	// A window whose variance is rounding residue relative to its raw
+	// energy is constant (min-max span 0 in the exact kernel's terms).
+	constA := tA <= 1e-12*(st.sumsq[a]+1e-300)
+	constB := tB <= 1e-12*(st.sumsq[b]+1e-300)
+	if constA && constB {
+		return 1
+	}
+	if constA || constB {
+		return 0
+	}
+	epsA := 1e-12 * (tA + 1e-300)
+	epsB := 1e-12 * (tB + 1e-300)
+	base := (k*st.pairs + pairIndex(i, j, st.dbs)) * st.lagStride
+	offA := a * st.maxLag
+	offB := b * st.maxLag
+	best := math.Inf(-1)
+	for idx := 0; idx <= 2*m; idx++ {
+		s := delayAt(idx)
+		var sx, sxx, sy, syy, cr, lov float64
+		if s >= 0 {
+			// x[s:] against y[:n-s]: suffix of a, prefix of b.
+			lov = float64(st.n - s)
+			if s == 0 {
+				sx, sxx = sumA, st.sumsq[a]
+				sy, syy = sumB, st.sumsq[b]
+				cr = st.cross[base]
+			} else {
+				sx, sxx = st.suf[offA+s-1], st.sufSq[offA+s-1]
+				sy, syy = st.pre[offB+s-1], st.preSq[offB+s-1]
+				cr = st.cross[base+s]
+			}
+		} else {
+			// x[:n+s] against y[-s:]: prefix of a, suffix of b.
+			t := -s
+			lov = float64(st.n - t)
+			sx, sxx = st.pre[offA+t-1], st.preSq[offA+t-1]
+			sy, syy = st.suf[offB+t-1], st.sufSq[offB+t-1]
+			cr = st.cross[base+st.maxLag+t]
+		}
+		num := cr - mB*sx - mA*sy + lov*mA*mB
+		nx := sxx - 2*mA*sx + lov*mA*mA
+		ny := syy - 2*mB*sy + lov*mB*mB
+		score := safeRatio(num, nx, ny, epsA, epsB)
+		if score > best+tieEps {
+			best = score
+		}
+	}
+	return best
+}

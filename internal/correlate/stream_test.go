@@ -1,0 +1,403 @@
+package correlate
+
+import (
+	"math"
+	"testing"
+
+	"dbcatcher/internal/mathx"
+	"dbcatcher/internal/timeseries"
+)
+
+// streamHist accumulates pushed ticks so tests can materialize the exact
+// window the stream currently covers and score it with the non-streaming
+// engine as the reference.
+type streamHist struct {
+	kpis, dbs int
+	ticks     [][]float64 // per absolute tick, series-major cells
+}
+
+func newStreamHist(kpis, dbs int) *streamHist {
+	return &streamHist{kpis: kpis, dbs: dbs}
+}
+
+func (h *streamHist) push(sample [][]float64) {
+	row := make([]float64, h.kpis*h.dbs)
+	for k := range sample {
+		copy(row[k*h.dbs:], sample[k])
+	}
+	h.ticks = append(h.ticks, row)
+}
+
+// window materializes [base, base+n) as a UnitSeries (gaps as NaN).
+func (h *streamHist) window(base, n int) *timeseries.UnitSeries {
+	u := timeseries.NewUnitSeries("ref", h.kpis, h.dbs)
+	for k := 0; k < h.kpis; k++ {
+		for d := 0; d < h.dbs; d++ {
+			vals := make([]float64, n)
+			for i := 0; i < n; i++ {
+				vals[i] = h.ticks[base+i][k*h.dbs+d]
+			}
+			u.Data[k][d].Values = vals
+		}
+	}
+	return u
+}
+
+// exactMatrices scores the stream's current window with the serial engine.
+func (h *streamHist) exactMatrices(t *testing.T, st *Stream, opts Options, active []bool) []*Matrix {
+	t.Helper()
+	u := h.window(st.Base(), st.Len())
+	mats, err := NewEngine(opts, 1).BuildMatrices(u, 0, st.Len(), active)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mats
+}
+
+func newStreamMats(kpis, dbs int) []*Matrix {
+	mats := make([]*Matrix, kpis)
+	for k := range mats {
+		mats[k] = NewMatrix(dbs)
+	}
+	return mats
+}
+
+// compareStreamMats requires every cell within tol of the reference (tol 0
+// means bit-identical).
+func compareStreamMats(t *testing.T, got, want []*Matrix, tol float64, ctx string) {
+	t.Helper()
+	for k := range want {
+		for i := 0; i < want[k].N; i++ {
+			for j := i + 1; j < want[k].N; j++ {
+				g, w := got[k].At(i, j), want[k].At(i, j)
+				if tol == 0 {
+					if g != w {
+						t.Fatalf("%s: KPI %d pair (%d,%d): %v != %v (want bit-identical)", ctx, k, i, j, g, w)
+					}
+					continue
+				}
+				if math.Abs(g-w) > tol {
+					t.Fatalf("%s: KPI %d pair (%d,%d): %v vs %v (diff %g > %g)", ctx, k, i, j, g, w, math.Abs(g-w), tol)
+				}
+			}
+		}
+	}
+}
+
+// streamSampleGen yields correlated samples with per-series character, so
+// the delay scan has structure to find.
+func streamSampleGen(kpis, dbs int, rng *mathx.RNG) func(tick int) [][]float64 {
+	return func(tick int) [][]float64 {
+		sample := make([][]float64, kpis)
+		for k := range sample {
+			row := make([]float64, dbs)
+			base := math.Sin(2*math.Pi*float64(tick)/float64(12+k)) * 10
+			for d := range row {
+				row[d] = base + 100*float64(k+1) + 0.4*rng.Norm() + float64(d)
+			}
+			sample[k] = row
+		}
+		return sample
+	}
+}
+
+// TestStreamMatchesEngine pushes well past capacity (exercising the
+// auto-evicting slide and its subtractive updates) and, at several window
+// positions, requires the streaming scores to match the exact engine within
+// the documented fast-math bound.
+func TestStreamMatchesEngine(t *testing.T) {
+	const kpis, dbs, capacity = 4, 5, 48
+	opts := DetectionOptions()
+	st, err := NewStream(kpis, dbs, opts, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist := newStreamHist(kpis, dbs)
+	gen := streamSampleGen(kpis, dbs, mathx.NewRNG(11))
+	mats := newStreamMats(kpis, dbs)
+	for tick := 0; tick < 150; tick++ {
+		sample := gen(tick)
+		hist.push(sample)
+		if err := st.Push(sample); err != nil {
+			t.Fatal(err)
+		}
+		if tick%17 != 0 || st.Len() == 0 {
+			continue
+		}
+		if err := st.ScoreInto(mats, nil); err != nil {
+			t.Fatal(err)
+		}
+		compareStreamMats(t, mats, hist.exactMatrices(t, st, opts, nil), 1e-9, "slide")
+	}
+	if st.Base() == 0 {
+		t.Fatal("stream never slid; capacity eviction untested")
+	}
+}
+
+// TestStreamPushOnlyBitIdentical pins the rebuild equivalence: push-only
+// gap-free rolling state scores bit-identically to the same state rebuilt
+// from the ring (Invalidate forces the rebuild path).
+func TestStreamPushOnlyBitIdentical(t *testing.T) {
+	const kpis, dbs = 3, 4
+	opts := DetectionOptions()
+	st, err := NewStream(kpis, dbs, opts, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := streamSampleGen(kpis, dbs, mathx.NewRNG(21))
+	for tick := 0; tick < 60; tick++ {
+		if err := st.Push(gen(tick)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pushed := newStreamMats(kpis, dbs)
+	if err := st.ScoreInto(pushed, nil); err != nil {
+		t.Fatal(err)
+	}
+	st.Invalidate()
+	rebuilt := newStreamMats(kpis, dbs)
+	if err := st.ScoreInto(rebuilt, nil); err != nil {
+		t.Fatal(err)
+	}
+	compareStreamMats(t, pushed, rebuilt, 0, "push vs rebuild")
+}
+
+// TestStreamGapFallbackBitIdentical: a pair whose window contains collector
+// gaps routes through the exact gap-repairing kernel and must match the
+// non-streaming engine bit for bit — the degraded-ingestion contract.
+func TestStreamGapFallbackBitIdentical(t *testing.T) {
+	const kpis, dbs = 2, 3
+	opts := DetectionOptions()
+	st, err := NewStream(kpis, dbs, opts, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist := newStreamHist(kpis, dbs)
+	gen := streamSampleGen(kpis, dbs, mathx.NewRNG(31))
+	for tick := 0; tick < 30; tick++ {
+		sample := gen(tick)
+		if tick%7 == 3 {
+			sample[tick%kpis][tick%dbs] = math.NaN()
+		}
+		hist.push(sample)
+		if err := st.Push(sample); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st.GapCells() == 0 {
+		t.Fatal("no gaps recorded; fallback untested")
+	}
+	mats := newStreamMats(kpis, dbs)
+	if err := st.ScoreInto(mats, nil); err != nil {
+		t.Fatal(err)
+	}
+	compareStreamMats(t, mats, hist.exactMatrices(t, st, opts, nil), 0, "gap fallback")
+}
+
+// TestStreamRandomOps is the property test: random push/gap/drop/reset
+// sequences, with the drift checkpoint shrunk so eviction-triggered rebuilds
+// fire, must track the exact recompute within tolerance at every probe.
+func TestStreamRandomOps(t *testing.T) {
+	const kpis, dbs, capacity = 3, 4, 32
+	opts := DetectionOptions()
+	for seed := uint64(1); seed <= 4; seed++ {
+		st, err := NewStream(kpis, dbs, opts, capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.RebuildEvery = 7 // exercise the eviction-drift checkpoint often
+		hist := newStreamHist(kpis, dbs)
+		rng := mathx.NewRNG(seed * 97)
+		gen := streamSampleGen(kpis, dbs, rng)
+		mats := newStreamMats(kpis, dbs)
+		tick := 0
+		for op := 0; op < 400; op++ {
+			switch r := rng.Float64(); {
+			case r < 0.70: // push, sometimes with gap cells
+				sample := gen(tick)
+				if rng.Float64() < 0.15 {
+					sample[int(rng.Float64()*kpis)][int(rng.Float64()*dbs)] = math.NaN()
+				}
+				hist.push(sample)
+				if err := st.Push(sample); err != nil {
+					t.Fatal(err)
+				}
+				tick++
+			case r < 0.85 && st.Len() > 0: // evict a few ticks
+				st.Drop(1 + int(rng.Float64()*3))
+			case r < 0.90: // round boundary / resync
+				st.ResetAt(tick)
+			case r < 0.95:
+				st.Invalidate()
+			default:
+				if st.Len() == 0 {
+					continue
+				}
+				if err := st.ScoreInto(mats, nil); err != nil {
+					t.Fatal(err)
+				}
+				compareStreamMats(t, mats, hist.exactMatrices(t, st, opts, nil), 1e-9, "random ops")
+			}
+		}
+		if st.Len() > 0 {
+			if err := st.ScoreInto(mats, nil); err != nil {
+				t.Fatal(err)
+			}
+			compareStreamMats(t, mats, hist.exactMatrices(t, st, opts, nil), 1e-9, "final")
+		}
+	}
+}
+
+// TestStreamActiveMask mirrors Engine semantics: masked pairs read 0,
+// unmasked pairs are unaffected by the mask.
+func TestStreamActiveMask(t *testing.T) {
+	const kpis, dbs = 2, 4
+	opts := DetectionOptions()
+	st, err := NewStream(kpis, dbs, opts, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist := newStreamHist(kpis, dbs)
+	gen := streamSampleGen(kpis, dbs, mathx.NewRNG(41))
+	for tick := 0; tick < 25; tick++ {
+		sample := gen(tick)
+		hist.push(sample)
+		if err := st.Push(sample); err != nil {
+			t.Fatal(err)
+		}
+	}
+	active := []bool{true, false, true, true}
+	mats := newStreamMats(kpis, dbs)
+	if err := st.ScoreInto(mats, active); err != nil {
+		t.Fatal(err)
+	}
+	compareStreamMats(t, mats, hist.exactMatrices(t, st, opts, active), 1e-9, "masked")
+	for k := 0; k < kpis; k++ {
+		for j := 0; j < dbs; j++ {
+			if j == 1 {
+				continue
+			}
+			lo, hi := 1, j
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			if v := mats[k].At(lo, hi); v != 0 {
+				t.Fatalf("masked pair (%d,%d) scored %v", lo, hi, v)
+			}
+		}
+	}
+}
+
+// TestStreamDegenerateConstants pins the Eq. 1 degenerate rules through the
+// rolling-stat path: two constant windows correlate 1, constant against
+// varying correlates 0 — matching the exact kernel.
+func TestStreamDegenerateConstants(t *testing.T) {
+	opts := DetectionOptions()
+	st, err := NewStream(1, 3, opts, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := mathx.NewRNG(51)
+	for tick := 0; tick < 12; tick++ {
+		if err := st.Push([][]float64{{5, 5, rng.Norm()}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mats := newStreamMats(1, 3)
+	if err := st.ScoreInto(mats, nil); err != nil {
+		t.Fatal(err)
+	}
+	if v := mats[0].At(0, 1); v != 1 {
+		t.Fatalf("const-const pair scored %v, want 1", v)
+	}
+	if v := mats[0].At(0, 2); v != 0 {
+		t.Fatalf("const-varying pair scored %v, want 0", v)
+	}
+}
+
+// TestStreamLargeDelayFallback: delay budgets beyond MaxTrackedLag disable
+// the incremental tier; every pair goes through the exact kernel with the
+// FFT delay scan. With UseFFT set explicitly both sides run the FFT kernel
+// and must agree bit for bit; with only a large MaxDelayPoints the stream's
+// FFT crossover is compared against the engine's direct scan in tolerance.
+func TestStreamLargeDelayFallback(t *testing.T) {
+	const kpis, dbs = 2, 3
+	cases := []struct {
+		name string
+		opts Options
+		tol  float64
+	}{
+		{"explicit-fft", Options{MaxDelayFraction: 0.5, MaxDelayPoints: 40, Normalize: true, UseFFT: true}, 0},
+		{"crossover", Options{MaxDelayFraction: 0.5, MaxDelayPoints: 40, Normalize: true}, 1e-8},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			st, err := NewStream(kpis, dbs, tc.opts, 128)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hist := newStreamHist(kpis, dbs)
+			gen := streamSampleGen(kpis, dbs, mathx.NewRNG(61))
+			for tick := 0; tick < 120; tick++ {
+				sample := gen(tick)
+				hist.push(sample)
+				if err := st.Push(sample); err != nil {
+					t.Fatal(err)
+				}
+			}
+			mats := newStreamMats(kpis, dbs)
+			if err := st.ScoreInto(mats, nil); err != nil {
+				t.Fatal(err)
+			}
+			compareStreamMats(t, mats, hist.exactMatrices(t, st, tc.opts, nil), tc.tol, tc.name)
+		})
+	}
+}
+
+// TestStreamZeroAllocSteadyState pins the tentpole's allocation contract on
+// the raw tier: a warm stream pushing (including past capacity, so the
+// subtractive slide is in the loop) and scoring allocates nothing — on the
+// incremental path, the gap fallback, and the FFT fallback alike.
+func TestStreamZeroAllocSteadyState(t *testing.T) {
+	cases := []struct {
+		name string
+		opts Options
+		gaps bool
+	}{
+		{"incremental", DetectionOptions(), false},
+		{"gap-fallback", DetectionOptions(), true},
+		{"fft-fallback", Options{MaxDelayFraction: 0.5, MaxDelayPoints: 40, Normalize: true, UseFFT: true}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			const kpis, dbs, capacity = 4, 5, 60
+			st, err := NewStream(kpis, dbs, tc.opts, capacity)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gen := streamSampleGen(kpis, dbs, mathx.NewRNG(71))
+			samples := make([][][]float64, 97)
+			for i := range samples {
+				samples[i] = gen(i)
+				if tc.gaps && i%5 == 2 {
+					samples[i][i%kpis][i%dbs] = math.NaN()
+				}
+			}
+			mats := newStreamMats(kpis, dbs)
+			warm := func() {
+				for _, s := range samples {
+					if err := st.Push(s); err != nil {
+						t.Fatal(err)
+					}
+					if err := st.ScoreInto(mats, nil); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			warm() // fills capacity, warms scratch buffers
+			if allocs := testing.AllocsPerRun(3, warm); allocs != 0 {
+				t.Fatalf("steady-state stream allocates %.1f/op, want 0", allocs)
+			}
+		})
+	}
+}

@@ -40,6 +40,16 @@ type Config struct {
 	Workers int
 	// Active marks databases that participate; nil means all.
 	Active []bool
+	// Streaming selects the incremental streaming KCD tier: per-pair
+	// rolling statistics updated in O(1) per tick instead of an O(W)
+	// recompute per round. It is an explicit fast-math opt-in — scores
+	// match the exact recompute mathematically (KCD is invariant under the
+	// min-max normalization's affine maps) but can differ by a documented
+	// O(ε·κ) rounding bound (see correlate.Stream), so verdict streams are
+	// expected, not guaranteed, to be identical. Gap-bearing windows still
+	// route through the exact gap-repairing kernel bit-for-bit. Ignored
+	// when Measure is non-nil (custom measures have no incremental form).
+	Streaming bool
 	// Primary is the index of the unit's primary database. KPIs whose
 	// Table II correlation type is R-R are only judged among replicas:
 	// the primary is neither scored on them nor used as a peer for them.
@@ -261,6 +271,18 @@ func (c *CachedProvider) Shape() (int, int, int) { return c.inner.Shape() }
 // arrive, §IV-A3).
 func Run(u *timeseries.UnitSeries, cfg Config) ([]Verdict, *Timing, error) {
 	cfg = cfg.withDefaults()
+	if cfg.Streaming && cfg.Measure == nil {
+		r, err := NewStreamer(cfg, u.KPIs, u.Databases)
+		if err != nil {
+			return nil, nil, err
+		}
+		verdicts, err := r.RunAppend(u, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		t := r.Timing()
+		return verdicts, &t, nil
+	}
 	return RunProvider(NewEngineProvider(u, cfg.Engine(), cfg.Active), cfg)
 }
 
@@ -274,11 +296,19 @@ func RunProvider(p MatrixProvider, cfg Config) ([]Verdict, *Timing, error) {
 	if err := cfg.Flex.Validate(); err != nil {
 		return nil, nil, err
 	}
-	var verdicts []Verdict
+	flex, err := window.NewFlex(cfg.Flex)
+	if err != nil {
+		return nil, nil, err
+	}
+	// One judgment scratch and flex tracker per pass: the GA's fitness
+	// evaluations run thousands of passes, so per-round buffers must not
+	// be reallocated.
+	js := NewJudgeScratch()
+	verdicts := make([]Verdict, 0, ticks/cfg.Flex.Initial+1)
 	timing := &Timing{}
 	cursor := 0
 	for cursor+cfg.Flex.Initial <= ticks {
-		v, err := judgeRound(p, cfg, cursor, ticks, kpis, dbs, timing)
+		v, err := judgeRound(p, cfg, cursor, ticks, kpis, dbs, timing, flex, js)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -289,11 +319,8 @@ func RunProvider(p MatrixProvider, cfg Config) ([]Verdict, *Timing, error) {
 }
 
 // judgeRound runs one flexible-window judgment starting at cursor.
-func judgeRound(p MatrixProvider, cfg Config, cursor, ticks, kpis, dbs int, timing *Timing) (Verdict, error) {
-	flex, err := window.NewFlex(cfg.Flex)
-	if err != nil {
-		return Verdict{}, err
-	}
+func judgeRound(p MatrixProvider, cfg Config, cursor, ticks, kpis, dbs int, timing *Timing, flex *window.Flex, js *JudgeScratch) (Verdict, error) {
+	flex.Reset()
 	var expansions int
 	for {
 		size := flex.Size()
@@ -301,7 +328,7 @@ func judgeRound(p MatrixProvider, cfg Config, cursor, ticks, kpis, dbs int, timi
 			// Not enough data to expand further: re-judge at the previous
 			// size and resolve as if the window budget were exhausted.
 			size = flex.Size() - flexDelta(cfg.Flex)
-			return finalizeAtSize(p, cfg, cursor, size, expansions, timing)
+			return finalizeAtSize(p, cfg, cursor, size, expansions, timing, js)
 		}
 		t0 := time.Now()
 		mats, err := p.Matrices(cursor, size)
@@ -311,7 +338,7 @@ func judgeRound(p MatrixProvider, cfg Config, cursor, ticks, kpis, dbs int, timi
 		timing.Correlation += time.Since(t0)
 
 		t1 := time.Now()
-		states := judgeStates(mats, cfg, kpis, dbs)
+		states := js.judge(mats, cfg, kpis, dbs)
 		round := roundState(states)
 		final, done := flex.Resolve(round)
 		timing.Window += time.Since(t1)
@@ -335,7 +362,7 @@ func flexDelta(c window.FlexConfig) int {
 
 // finalizeAtSize re-computes the judgment at the given size and forces a
 // terminal verdict (used when the series ends mid-expansion).
-func finalizeAtSize(p MatrixProvider, cfg Config, cursor, size, expansions int, timing *Timing) (Verdict, error) {
+func finalizeAtSize(p MatrixProvider, cfg Config, cursor, size, expansions int, timing *Timing, js *JudgeScratch) (Verdict, error) {
 	_, kpis, dbs := p.Shape()
 	t0 := time.Now()
 	mats, err := p.Matrices(cursor, size)
@@ -344,17 +371,39 @@ func finalizeAtSize(p MatrixProvider, cfg Config, cursor, size, expansions int, 
 	}
 	timing.Correlation += time.Since(t0)
 	t1 := time.Now()
-	states := judgeStates(mats, cfg, kpis, dbs)
+	states := js.judge(mats, cfg, kpis, dbs)
 	timing.Window += time.Since(t1)
 	return buildVerdict(cursor, size, states, cfg, expansions, true), nil
 }
 
-// judgeStates maps the matrices to a tentative state per database
-// (Algorithm 1 + Fig. 7), honouring each KPI's Table II correlation type:
-// an R-R KPI is only judged among replicas.
-func judgeStates(mats []*correlate.Matrix, cfg Config, kpis, dbs int) []window.State {
-	states := make([]window.State, dbs)
-	levels := make([]window.Level, 0, kpis)
+// JudgeScratch holds the reusable buffers of a judgment step (per-database
+// states, per-KPI levels, peer-score staging), so steady-state judging
+// allocates nothing. Not safe for concurrent use; hold one per goroutine.
+type JudgeScratch struct {
+	states []window.State
+	levels []window.Level
+	peers  []float64
+}
+
+// NewJudgeScratch returns an empty scratch; buffers grow on first use.
+func NewJudgeScratch() *JudgeScratch { return &JudgeScratch{} }
+
+// Judge maps a window's correlation matrices to tentative per-database
+// states (Algorithm 1 + Fig. 7), honouring each KPI's Table II correlation
+// type: an R-R KPI is only judged among replicas. The returned slice is
+// the scratch's internal buffer, valid until the next call; results are
+// identical to JudgeMatrices.
+func (js *JudgeScratch) Judge(mats []*correlate.Matrix, cfg Config, kpis, dbs int) []window.State {
+	cfg = cfg.withDefaults()
+	return js.judge(mats, cfg, kpis, dbs)
+}
+
+func (js *JudgeScratch) judge(mats []*correlate.Matrix, cfg Config, kpis, dbs int) []window.State {
+	if cap(js.states) < dbs {
+		js.states = make([]window.State, dbs)
+	}
+	states := js.states[:dbs]
+	levels := js.levels[:0]
 	for d := 0; d < dbs; d++ {
 		if cfg.Active != nil && !cfg.Active[d] {
 			// An unused database does not participate (§III-C).
@@ -368,12 +417,19 @@ func judgeStates(mats []*correlate.Matrix, cfg Config, kpis, dbs int) []window.S
 				// The primary is not expected to correlate on this KPI.
 				continue
 			}
-			scores := peerScores(mats[k], d, cfg, rrOnly)
-			levels = append(levels, window.KPILevel(scores, cfg.Thresholds.Alpha[k], cfg.Thresholds.Theta))
+			js.peers = peerScoresInto(js.peers[:0], mats[k], d, cfg, rrOnly)
+			levels = append(levels, window.KPILevel(js.peers, cfg.Thresholds.Alpha[k], cfg.Thresholds.Theta))
 		}
 		states[d] = window.DetermineState(levels, cfg.Thresholds.MaxTolerance)
 	}
+	js.levels = levels[:0]
 	return states
+}
+
+// judgeStates is the allocating form of JudgeScratch.judge: a fresh
+// scratch's buffers become the returned slice, so the caller owns it.
+func judgeStates(mats []*correlate.Matrix, cfg Config, kpis, dbs int) []window.State {
+	return NewJudgeScratch().judge(mats, cfg, kpis, dbs)
 }
 
 // isRROnly reports whether KPI index k correlates replica-replica only.
@@ -386,10 +442,9 @@ func isRROnly(k, kpis int) bool {
 	return kpi.KPI(k).Correlation() == kpi.RR
 }
 
-// peerScores extracts database d's scores against the peers it is expected
-// to correlate with.
-func peerScores(m *correlate.Matrix, d int, cfg Config, rrOnly bool) []float64 {
-	out := make([]float64, 0, m.N-1)
+// peerScoresInto extracts database d's scores against the peers it is
+// expected to correlate with, appending into the caller's buffer.
+func peerScoresInto(out []float64, m *correlate.Matrix, d int, cfg Config, rrOnly bool) []float64 {
 	for i := 0; i < m.N; i++ {
 		if i == d {
 			continue

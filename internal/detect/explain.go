@@ -77,7 +77,7 @@ func Explain(p MatrixProvider, cfg Config, start, size int) ([]*Explanation, err
 			if rr && d == cfg.Primary {
 				continue
 			}
-			scores := peerScores(mats[k], d, cfg, rr)
+			scores := peerScoresInto(nil, mats[k], d, cfg, rr)
 			best := -2.0
 			for _, s := range scores {
 				if s > best {

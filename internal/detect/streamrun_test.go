@@ -1,0 +1,151 @@
+package detect
+
+import (
+	"testing"
+
+	"dbcatcher/internal/anomaly"
+	"dbcatcher/internal/mathx"
+	"dbcatcher/internal/window"
+)
+
+// verdictsEqual compares two verdict streams field by field.
+func verdictsEqual(t *testing.T, got, want []Verdict) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("verdict count %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		g, w := got[i], want[i]
+		if g.Start != w.Start || g.Size != w.Size || g.Abnormal != w.Abnormal ||
+			g.AbnormalDB != w.AbnormalDB || g.Expansions != w.Expansions || g.Health != w.Health {
+			t.Fatalf("verdict %d: got %+v, want %+v", i, g, w)
+		}
+		for d := range g.States {
+			if g.States[d] != w.States[d] {
+				t.Fatalf("verdict %d db %d: state %v, want %v", i, d, g.States[d], w.States[d])
+			}
+		}
+	}
+}
+
+// TestStreamingRunMatchesExact drives the streaming tier and the exact
+// engine over the same simulated units — healthy, anomalous, and
+// fluctuation-heavy (window expansions + the trailing mid-expansion
+// re-judgment) — and requires identical verdict streams.
+func TestStreamingRunMatchesExact(t *testing.T) {
+	cases := []struct {
+		name   string
+		ticks  int
+		seed   uint64
+		fluct  float64
+		inject bool
+	}{
+		{"healthy", 400, 1, 1e-9, false},
+		{"anomalous", 410, 2, 1e-9, true},
+		{"fluctuating", 430, 3, 0.3, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			u := testUnit(t, tc.ticks, tc.seed, tc.fluct)
+			if tc.inject {
+				events := []anomaly.Event{
+					{Type: anomaly.Stall, DB: 2, Start: 160, Length: 40, Magnitude: 0.9},
+				}
+				if _, err := anomaly.Inject(u, events, mathx.NewRNG(3)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			cfg := defaultConfig()
+			exact, _, err := Run(u.Series, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Streaming = true
+			streamed, timing, err := Run(u.Series, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			verdictsEqual(t, streamed, exact)
+			if timing.Correlation <= 0 {
+				t.Fatal("streaming correlation timing not recorded")
+			}
+		})
+	}
+}
+
+// TestStreamerActiveMask checks masked databases stay healthy and unscored
+// through the streaming path, like the engine path.
+func TestStreamerActiveMask(t *testing.T) {
+	u := testUnit(t, 200, 4, 1e-9)
+	cfg := defaultConfig()
+	cfg.Active = []bool{true, true, true, true, false}
+	exact, _, err := Run(u.Series, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Streaming = true
+	streamed, _, err := Run(u.Series, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verdictsEqual(t, streamed, exact)
+	for _, v := range streamed {
+		if v.States[4] != window.Healthy {
+			t.Fatalf("masked database judged %v", v.States[4])
+		}
+	}
+}
+
+// TestStreamerZeroAlloc pins the tentpole contract: a warm streaming pass
+// into a reused verdict slice allocates nothing.
+func TestStreamerZeroAlloc(t *testing.T) {
+	u := testUnit(t, 400, 5, 1e-9)
+	r, err := NewStreamer(defaultConfig(), u.Series.KPIs, u.Series.Databases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var verdicts []Verdict
+	if verdicts, err = r.RunAppend(u.Series, verdicts[:0]); err != nil {
+		t.Fatal(err)
+	}
+	if len(verdicts) == 0 {
+		t.Fatal("no verdicts")
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		var runErr error
+		verdicts, runErr = r.RunAppend(u.Series, verdicts[:0])
+		if runErr != nil {
+			t.Fatal(runErr)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm streaming pass allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestStreamerRejectsCustomMeasure: custom measures have no incremental
+// form, so the streaming constructor refuses them (and Run falls back).
+func TestStreamerRejectsCustomMeasure(t *testing.T) {
+	cfg := defaultConfig()
+	cfg.Measure = func(x, y []float64) float64 { return 1 }
+	if _, err := NewStreamer(cfg, 14, 5); err == nil {
+		t.Fatal("expected error for custom measure")
+	}
+	// Run with both Streaming and Measure set quietly uses the measure path.
+	u := testUnit(t, 100, 6, 1e-9)
+	cfg.Streaming = true
+	if _, _, err := Run(u.Series, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStreamerShapeMismatch rejects units that do not match the streamer.
+func TestStreamerShapeMismatch(t *testing.T) {
+	u := testUnit(t, 100, 7, 1e-9)
+	r, err := NewStreamer(defaultConfig(), u.Series.KPIs, u.Series.Databases+1)
+	if err == nil {
+		if _, err = r.Run(u.Series); err == nil {
+			t.Fatal("expected shape mismatch error")
+		}
+	}
+}
