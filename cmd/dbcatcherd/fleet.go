@@ -1,0 +1,244 @@
+// Fleet mode: one daemon monitoring N simulated database units behind a
+// single bounded round scheduler (fleet.Monitor), with every unit's
+// verdict stream journaled into one multiplexed WAL and the aggregated
+// /api/fleet endpoints serving region-wide totals and per-unit drill-down.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dbcatcher/internal/anomaly"
+	"dbcatcher/internal/cluster"
+	"dbcatcher/internal/detect"
+	"dbcatcher/internal/fleet"
+	"dbcatcher/internal/kpi"
+	"dbcatcher/internal/mathx"
+	"dbcatcher/internal/monitor"
+	"dbcatcher/internal/server"
+	"dbcatcher/internal/store"
+	"dbcatcher/internal/window"
+	"dbcatcher/internal/workload"
+)
+
+// maxFleetUnits bounds -units: each unit carries rings, a judge, and a
+// verdict buffer, and the simulator pre-generates its whole series.
+const maxFleetUnits = 4096
+
+type fleetConfig struct {
+	addr        string
+	units       int
+	dbs         int
+	profile     workload.Profile
+	seed        uint64
+	speedup     float64
+	anomalies   float64
+	horizon     int
+	workers     int // per-unit correlation pool; 0 = auto
+	fleetConc   int // scheduler pool; 0 = GOMAXPROCS
+	history     int // verdict buffer per unit
+	streaming   bool
+	plan        workload.FaultPlan // template; seeded per unit
+	dataDir     string
+	fsyncPolicy string
+}
+
+func runFleet(cfg fleetConfig) {
+	log.Printf("fleet mode: %d units x %d databases, profile %v, %d ticks, scheduler pool %d",
+		cfg.units, cfg.dbs, cfg.profile, cfg.horizon, fleet.Resolve(cfg.fleetConc))
+
+	// The scheduler already fans out across units; nesting a correlation
+	// pool inside each judge would only add scheduling overhead (the same
+	// rule fleet.DetectUnits applies). Verdicts are identical either way.
+	workers := cfg.workers
+	if workers == 0 && fleet.Resolve(cfg.fleetConc) > 1 {
+		workers = 1
+	}
+
+	collectors := make([]*cluster.Collector, cfg.units)
+	onlines := make([]*monitor.Online, cfg.units)
+	servers := make([]*server.Server, cfg.units)
+	pushers := make([]fleet.Pusher, cfg.units)
+	totalAnomalies := 0
+	for i := 0; i < cfg.units; i++ {
+		name := fmt.Sprintf("unit-%03d", i)
+		seed := cfg.seed + uint64(i)*1009
+		u, err := cluster.Simulate(cluster.Config{
+			Name: name, Databases: cfg.dbs, Ticks: cfg.horizon,
+			Profile: cfg.profile, Seed: seed,
+		})
+		if err != nil {
+			log.Fatalf("dbcatcherd: unit %d: %v", i, err)
+		}
+		if cfg.anomalies > 0 {
+			events := anomaly.GenerateSchedule(anomaly.ScheduleConfig{
+				Ticks: cfg.horizon, Databases: cfg.dbs, TargetRatio: cfg.anomalies,
+			}, mathx.NewRNG(seed+1))
+			labels, err := anomaly.Inject(u, events, mathx.NewRNG(seed+2))
+			if err != nil {
+				log.Fatalf("dbcatcherd: unit %d: %v", i, err)
+			}
+			totalAnomalies += len(labels.Events)
+		}
+		plan := cfg.plan
+		plan.Seed = seed + 3
+		collectors[i], err = cluster.NewCollector(u.Series, plan)
+		if err != nil {
+			log.Fatalf("dbcatcherd: unit %d: %v", i, err)
+		}
+		onlines[i], err = monitor.NewOnline(detect.Config{
+			Thresholds: window.DefaultThresholds(kpi.Count),
+			Workers:    workers,
+			Streaming:  cfg.streaming,
+		}, kpi.Count, cfg.dbs)
+		if err != nil {
+			log.Fatalf("dbcatcherd: unit %d: %v", i, err)
+		}
+		servers[i] = server.New(onlines[i], name, cfg.history)
+		pushers[i] = servers[i]
+	}
+	if cfg.anomalies > 0 {
+		log.Printf("injected %d anomaly episodes across the fleet", totalAnomalies)
+	}
+	if !cfg.plan.IsZero() {
+		log.Printf("collector faults enabled on every unit (per-unit seeds): drop-tick=%.3f drop-cell=%.3f partial-row=%.3f stale=%.3f silences=%d",
+			cfg.plan.DropTickRate, cfg.plan.DropCellRate, cfg.plan.PartialRowRate, cfg.plan.StaleRate, len(cfg.plan.Silences))
+	}
+
+	// Durable state: one multiplexed WAL holds every unit's verdict stream
+	// (unit-keyed records). Fleet mode journals judgments rather than full
+	// judge state: after a restart detection replays deterministically from
+	// tick 0 and the per-unit dedupe horizons suppress re-journaling (and
+	// re-publishing) verdicts that are already durable.
+	var st *store.Store
+	var fp *store.FleetPersister
+	if cfg.dataDir != "" {
+		policy, err := store.ParsePolicy(cfg.fsyncPolicy)
+		if err != nil {
+			log.Fatalf("dbcatcherd: %v", err)
+		}
+		var rec *store.Recovered
+		st, rec, err = store.Open(cfg.dataDir, store.Options{Fsync: policy})
+		if err != nil {
+			log.Fatalf("dbcatcherd: %v", err)
+		}
+		fp = store.NewFleetPersister(st, rec)
+		recovered := 0
+		for i := range servers {
+			hist := rec.UnitVerdictHistory(i)
+			recovered += len(hist)
+			servers[i].RestoreHistory(hist)
+			onlines[i].SetPersister(fp.Unit(i))
+		}
+		m := st.Metrics()
+		log.Printf("durable fleet state: dir=%s fsync=%s recovered %d verdicts across units (torn tail %v)",
+			cfg.dataDir, policy, recovered, m.TornTail)
+	}
+
+	mon, err := fleet.NewMonitor(pushers, cfg.fleetConc)
+	if err != nil {
+		log.Fatalf("dbcatcherd: %v", err)
+	}
+	api := server.NewFleet(servers)
+	if fp != nil {
+		api.SetPersistence(fp.Status)
+	}
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+
+	// Feeder: one lock-step collection round per tick across the whole
+	// fleet. Collector faults degrade individual units' verdicts; a
+	// scheduler error (a pipeline bug, not a data fault) stops the feeder.
+	go func() {
+		defer close(done)
+		interval := time.Duration(float64(5*time.Second) / cfg.speedup)
+		samples := make([][][]float64, cfg.units)
+		verdictCount, abnormalCount := 0, 0
+		for tick := 0; tick < cfg.horizon; tick++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for i, c := range collectors {
+				sample, ok := c.Next()
+				if !ok {
+					log.Printf("unit %d collector exhausted at tick %d", i, tick)
+					return
+				}
+				samples[i] = sample
+			}
+			verdicts, err := mon.Push(samples)
+			if err != nil {
+				log.Printf("fleet round: %v", err)
+				return
+			}
+			for _, v := range verdicts {
+				if v == nil {
+					continue
+				}
+				verdictCount++
+				if v.Abnormal {
+					abnormalCount++
+				}
+			}
+			if tick > 0 && tick%1000 == 0 {
+				log.Printf("fleet tick %d: %d verdicts so far, %d abnormal", tick, verdictCount, abnormalCount)
+			}
+			time.Sleep(interval)
+		}
+		log.Printf("fleet replay finished: %d rounds, %d verdicts, %d abnormal",
+			mon.Ticks(), verdictCount, abnormalCount)
+	}()
+
+	httpSrv := &http.Server{
+		Addr:              cfg.addr,
+		Handler:           api.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       15 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	shutdownDone := make(chan struct{})
+	go func() {
+		defer close(shutdownDone)
+		sigc := make(chan os.Signal, 1)
+		signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+		sig := <-sigc
+		log.Printf("received %v: draining and flushing fleet state", sig)
+		close(stop)
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			log.Printf("feeder did not drain in time")
+		}
+		drainCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(drainCtx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+		if fp != nil {
+			if err := fp.Flush(); err != nil {
+				log.Printf("flush: %v", err)
+			}
+		}
+		if st != nil {
+			if err := st.Close(); err != nil {
+				log.Printf("close: %v", err)
+			}
+		}
+	}()
+
+	log.Printf("fleet API listening on %s (/api/fleet/status, /api/fleet/verdicts?unit=N)", cfg.addr)
+	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatalf("dbcatcherd: %v", err)
+	}
+	<-shutdownDone
+}

@@ -106,6 +106,10 @@ func main() {
 		scrapeConc     = flag.Int("scrape-concurrency", 0, "scrape fan-out bound (0 = all targets, capped at 16)")
 		scrapeFaults   = flag.String("scrape-fault", "", "exporter fault script: db:mode[:count],... (modes: hang, 5xx, truncate, garbage, drop, flap, stale)")
 
+		units     = flag.Int("units", 1, "database units to monitor; >1 runs the sharded fleet scheduler with the aggregated /api/fleet endpoints")
+		fleetConc = flag.Int("fleet-concurrency", 0, "fleet round scheduler worker pool (0 = GOMAXPROCS); per-unit verdicts are identical at any setting")
+		fleetHist = flag.Int("fleet-history", 128, "verdict history buffer per fleet unit")
+
 		relearnOn     = flag.Bool("relearn", false, "enable the drift-triggered adaptive threshold relearning supervisor")
 		relearnDL     = flag.Duration("relearn-deadline", 30*time.Second, "wall-clock budget for one background threshold search")
 		relearnCool   = flag.Duration("relearn-cooldown", 2*time.Minute, "minimum gap between retrain attempts (converted to ticks at the replay rate)")
@@ -117,6 +121,62 @@ func main() {
 	if err != nil {
 		log.Fatalf("dbcatcherd: %v", err)
 	}
+
+	// Fleet mode: N simulated units behind one bounded round scheduler and
+	// the aggregated /api/fleet surface. The single-unit integrations that
+	// assume exactly one judge (network scrape wiring, relearning,
+	// failover scheduling) are rejected rather than silently applied to
+	// unit 0 only; collector faults, persistence, and streaming KCD all
+	// compose with the fleet.
+	if *units > 1 {
+		if *units > maxFleetUnits {
+			log.Fatalf("dbcatcherd: -units %d exceeds the %d-unit bound", *units, maxFleetUnits)
+		}
+		for flagName, set := range map[string]bool{
+			"-scrape-addr":    *scrapeAddr != "",
+			"-scrape-targets": *scrapeTargets != "",
+			"-scrape-fault":   *scrapeFaults != "",
+			"-export-only":    *exportOnly,
+			"-relearn":        *relearnOn,
+			"-failover-tick":  *foTick > 0,
+		} {
+			if set {
+				log.Fatalf("dbcatcherd: %s is single-unit only; it cannot be combined with -units > 1", flagName)
+			}
+		}
+		plan := workload.FaultPlan{
+			DropTickRate:   *faultDropTick,
+			DropCellRate:   *faultDropCell,
+			PartialRowRate: *faultPartial,
+			StaleRate:      *faultStale,
+		}
+		plan.Silences, err = parseSilences(*faultSilences)
+		if err != nil {
+			log.Fatalf("dbcatcherd: %v", err)
+		}
+		runFleet(fleetConfig{
+			addr:        *addr,
+			units:       *units,
+			dbs:         *dbs,
+			profile:     p,
+			seed:        *seed,
+			speedup:     *speedup,
+			anomalies:   *anomalies,
+			horizon:     *horizon,
+			workers:     *conc,
+			fleetConc:   *fleetConc,
+			history:     *fleetHist,
+			streaming:   *streaming,
+			plan:        plan,
+			dataDir:     *dataDir,
+			fsyncPolicy: *fsyncPolicy,
+		})
+		return
+	}
+	if *units < 1 {
+		log.Fatalf("dbcatcherd: -units must be at least 1")
+	}
+
 	log.Printf("simulating unit: %d databases, profile %v, %d ticks", *dbs, p, *horizon)
 	simCfg := cluster.Config{
 		Name: "live", Databases: *dbs, Ticks: *horizon, Profile: p, Seed: *seed,
@@ -542,20 +602,49 @@ func tickAbnormal(l *anomaly.Labels, start, size int) bool {
 	return false
 }
 
-// parseSilences parses "db:start:length[,db:start:length...]".
+// parseSilences parses "db:start:length[,db:start:length...]". Every field
+// is a strict non-negative decimal: the previous fmt.Sscanf("%d:%d:%d")
+// parser accepted trailing garbage ("1:2:3junk" parsed clean), so a typo'd
+// spec silently installed a different outage than the operator asked for.
 func parseSilences(s string) ([]workload.Silence, error) {
-	if s == "" {
+	if strings.TrimSpace(s) == "" {
 		return nil, nil
 	}
 	var out []workload.Silence
 	for _, part := range strings.Split(s, ",") {
-		var sil workload.Silence
-		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d:%d:%d", &sil.DB, &sil.Start, &sil.Length); err != nil {
-			return nil, fmt.Errorf("bad silence %q (want db:start:length): %v", part, err)
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("bad silence %q (want db:start:length)", part)
 		}
-		out = append(out, sil)
+		vals := make([]int, 3)
+		for i, f := range fields {
+			v, err := parseCount(f)
+			if err != nil {
+				return nil, fmt.Errorf("bad silence %q: %v", part, err)
+			}
+			vals[i] = v
+		}
+		out = append(out, workload.Silence{DB: vals[0], Start: vals[1], Length: vals[2]})
 	}
 	return out, nil
+}
+
+// parseCount parses a strict non-negative decimal flag field: ASCII digits
+// only — no sign, no whitespace, no trailing garbage.
+func parseCount(f string) (int, error) {
+	if f == "" {
+		return 0, fmt.Errorf("empty field")
+	}
+	for i := 0; i < len(f); i++ {
+		if f[i] < '0' || f[i] > '9' {
+			return 0, fmt.Errorf("field %q is not a non-negative integer", f)
+		}
+	}
+	v, err := strconv.Atoi(f)
+	if err != nil {
+		return 0, fmt.Errorf("field %q out of range", f)
+	}
+	return v, nil
 }
 
 func parseProfile(s string) (workload.Profile, error) {

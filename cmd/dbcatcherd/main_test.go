@@ -43,6 +43,38 @@ func TestSplitTargets(t *testing.T) {
 	}
 }
 
+func TestParseSilencesStrict(t *testing.T) {
+	got, err := parseSilences(" 1:60:80 , 0:10:5 ")
+	if err != nil {
+		t.Fatalf("valid spec: %v", err)
+	}
+	want := []workload.Silence{{DB: 1, Start: 60, Length: 80}, {DB: 0, Start: 10, Length: 5}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("parseSilences = %+v, want %+v", got, want)
+	}
+	if got, err := parseSilences("  "); err != nil || got != nil {
+		t.Fatalf("blank spec: %v, %v", got, err)
+	}
+	// The old fmt.Sscanf path accepted trailing garbage ("1:2:3junk" parsed
+	// as 1:2:3) and sign prefixes; every field is now digits-only.
+	for _, bad := range []string{
+		"1:2:3junk", // trailing garbage on the last field
+		"+1:2:3",    // sign prefix
+		"1:-2:3",    // negative field
+		"1:2",       // too few fields
+		"1:2:3:4",   // too many fields
+		"1::3",      // empty field
+		"abc",       // not a spec at all
+		"1:2:3,",    // trailing comma leaves an empty spec
+		"1: 2:3",    // interior whitespace inside a field
+		"1:2:99999999999999999999", // out of int range
+	} {
+		if _, err := parseSilences(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}
+
 func TestApplyScrapeFaults(t *testing.T) {
 	exp := scrape.NewExporter(scrape.NewFeed(2, 3))
 	if err := applyScrapeFaults(exp, "", 3); err != nil {

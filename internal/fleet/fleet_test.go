@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -62,6 +63,58 @@ func TestEachReportsError(t *testing.T) {
 	})
 	if err != errA {
 		t.Fatalf("parallel err = %v, want %v", err, errA)
+	}
+}
+
+// TestEachLowestIndexedError pins the documented failure contract under
+// concurrent multi-error failure: when several tasks fail, Each returns
+// the lowest-indexed error that was recorded before the pool drained.
+// Which indices ran varies with scheduling (after a failure no new task
+// starts), so the test records them and asserts against the minimum. Run
+// under `make race`: the fleet scheduler leans on this online.
+func TestEachLowestIndexedError(t *testing.T) {
+	const n, workers = 24, 6
+
+	// Barrier variant: the first wave of tasks all fail at the same
+	// instant. Index 0 is in that wave, so its error must win.
+	taskErr := make([]error, n)
+	for i := range taskErr {
+		taskErr[i] = fmt.Errorf("task %d failed", i)
+	}
+	start := make(chan struct{})
+	var arrived atomic.Int64
+	err := Each(n, workers, func(i int) error {
+		if arrived.Add(1) == workers {
+			close(start)
+		}
+		<-start
+		return taskErr[i]
+	})
+	if err != taskErr[0] {
+		t.Fatalf("simultaneous failure returned %v, want %v", err, taskErr[0])
+	}
+
+	// Free-running variant, repeated: every task fails immediately; the
+	// returned error must always be the lowest-indexed task that ran.
+	for round := 0; round < 50; round++ {
+		ran := make([]atomic.Bool, n)
+		err := Each(n, workers, func(i int) error {
+			ran[i].Store(true)
+			return taskErr[i]
+		})
+		lowest := -1
+		for i := range ran {
+			if ran[i].Load() {
+				lowest = i
+				break
+			}
+		}
+		if lowest == -1 {
+			t.Fatal("no task ran")
+		}
+		if err != taskErr[lowest] {
+			t.Fatalf("round %d: returned %v, want lowest recorded %v", round, err, taskErr[lowest])
+		}
 	}
 }
 

@@ -1,0 +1,249 @@
+// Fleet aggregation: one HTTP surface over many per-unit Servers. The
+// fleet daemon owns N units behind one scheduler; dashboards read
+// region-wide totals and page through per-unit summaries instead of
+// polling N ports. Pagination is strict — malformed offsets and limits
+// are rejected with 400 exactly like the per-unit API's limit parameter.
+package server
+
+import (
+	"log"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// maxFleetPage bounds one /api/fleet/status page so a single request can
+// never serialize an unbounded number of unit summaries.
+const maxFleetPage = 256
+
+// defaultFleetPage is the /api/fleet/status page size when no limit is
+// given.
+const defaultFleetPage = 32
+
+// Fleet serves the aggregated API over a fixed set of per-unit Servers.
+// The unit set is immutable after construction; per-unit state is read
+// through each Server's own lock, so handlers are safe against the
+// scheduler pushing rounds concurrently.
+type Fleet struct {
+	units []*Server
+
+	mu          sync.Mutex
+	persistence func() interface{}
+	reqTimeout  time.Duration
+	panics      atomic.Int64
+}
+
+// NewFleet builds the aggregation surface. The slice is not copied; it
+// must not be mutated afterwards.
+func NewFleet(units []*Server) *Fleet {
+	return &Fleet{units: units, reqTimeout: DefaultRequestTimeout}
+}
+
+// SetPersistence attaches a provider embedded as the "persistence" block
+// of /api/fleet/status (e.g. store.FleetPersister.Status).
+func (f *Fleet) SetPersistence(fn func() interface{}) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.persistence = fn
+}
+
+// SetRequestTimeout overrides the per-request bound applied by Handler
+// (call before Handler; 0 disables the bound).
+func (f *Fleet) SetRequestTimeout(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.reqTimeout = d
+}
+
+// Handler returns the fleet routes, hardened like the per-unit API:
+// per-request timeout, panic recovery into a JSON 500.
+func (f *Fleet) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("/api/fleet/status", f.handleStatus)
+	mux.HandleFunc("/api/fleet/verdicts", f.handleVerdicts)
+	f.mu.Lock()
+	timeout := f.reqTimeout
+	f.mu.Unlock()
+	return Recover(Timeout(mux, timeout), f.recordPanic)
+}
+
+func (f *Fleet) recordPanic(v interface{}, stack []byte) {
+	if f.panics.Add(1) == 1 {
+		log.Printf("server: recovered fleet handler panic: %v\n%s", v, stack)
+		return
+	}
+	log.Printf("server: recovered fleet handler panic: %v (stack logged on first occurrence)", v)
+}
+
+// fleetUnitJSON is one unit's row in a /api/fleet/status page.
+type fleetUnitJSON struct {
+	Unit             int    `json:"unit"`
+	Name             string `json:"name"`
+	TicksIngested    int    `json:"ticksIngested"`
+	Verdicts         int    `json:"verdicts"`
+	AbnormalVerdicts int    `json:"abnormalVerdicts"`
+	DegradedVerdicts int    `json:"degradedVerdicts"`
+	SkippedRounds    int    `json:"skippedRounds"`
+	GapCells         int    `json:"gapCells"`
+	Deactivated      []int  `json:"deactivated"`
+	LastVerdictTick  int    `json:"lastVerdictTick"` // -1 before the first
+}
+
+// fleetSummary snapshots one unit's row under its own lock.
+func (s *Server) fleetSummary(unit int) fleetUnitJSON {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	abnormal := 0
+	for _, v := range s.verdicts {
+		if v.Abnormal {
+			abnormal++
+		}
+	}
+	last := -1
+	if n := len(s.verdicts); n > 0 {
+		last = s.verdicts[n-1].Tick
+	}
+	h := s.online.Health()
+	deactivated := make([]int, 0)
+	for d, down := range h.AutoDeactivated {
+		if down {
+			deactivated = append(deactivated, d)
+		}
+	}
+	return fleetUnitJSON{
+		Unit:             unit,
+		Name:             s.unitName,
+		TicksIngested:    s.online.Processor().Ticks(),
+		Verdicts:         len(s.verdicts),
+		AbnormalVerdicts: abnormal,
+		DegradedVerdicts: h.DegradedVerdicts,
+		SkippedRounds:    h.SkippedRounds,
+		GapCells:         h.GapCells,
+		Deactivated:      deactivated,
+		LastVerdictTick:  last,
+	}
+}
+
+// verdictPage copies out the newest limit verdicts under the unit's lock.
+func (s *Server) verdictPage(limit int) (string, []verdictJSON) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if limit > s.maxHist {
+		limit = s.maxHist
+	}
+	vs := s.verdicts
+	if len(vs) > limit {
+		vs = vs[len(vs)-limit:]
+	}
+	out := make([]verdictJSON, len(vs))
+	copy(out, vs)
+	return s.unitName, out
+}
+
+// handleStatus serves GET /api/fleet/status?offset=&limit=: region-wide
+// totals over every unit plus one page of per-unit summaries. A page
+// starting past the last unit is an empty page (200), not an error;
+// malformed pagination is a 400.
+func (f *Fleet) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	offset, ok := queryInt(r, "offset", 0)
+	if !ok {
+		http.Error(w, "bad offset", http.StatusBadRequest)
+		return
+	}
+	limit, ok := queryInt(r, "limit", defaultFleetPage)
+	if !ok || limit < 1 {
+		http.Error(w, "bad limit", http.StatusBadRequest)
+		return
+	}
+	if limit > maxFleetPage {
+		limit = maxFleetPage
+	}
+
+	totals := struct {
+		TicksIngested    int `json:"ticksIngested"`
+		Verdicts         int `json:"verdicts"`
+		AbnormalVerdicts int `json:"abnormalVerdicts"`
+		DegradedVerdicts int `json:"degradedVerdicts"`
+		SkippedRounds    int `json:"skippedRounds"`
+		GapCells         int `json:"gapCells"`
+		DeactivatedDBs   int `json:"deactivatedDbs"`
+	}{}
+	page := make([]fleetUnitJSON, 0, limit)
+	for i := range f.units {
+		row := f.units[i].fleetSummary(i)
+		totals.TicksIngested += row.TicksIngested
+		totals.Verdicts += row.Verdicts
+		totals.AbnormalVerdicts += row.AbnormalVerdicts
+		totals.DegradedVerdicts += row.DegradedVerdicts
+		totals.SkippedRounds += row.SkippedRounds
+		totals.GapCells += row.GapCells
+		totals.DeactivatedDBs += len(row.Deactivated)
+		if i >= offset && len(page) < limit {
+			page = append(page, row)
+		}
+	}
+
+	f.mu.Lock()
+	persistence := f.persistence
+	timeout := f.reqTimeout
+	f.mu.Unlock()
+	body := map[string]interface{}{
+		"units":  len(f.units),
+		"offset": offset,
+		"limit":  limit,
+		"count":  len(page),
+		"totals": totals,
+		"page":   page,
+		"server": map[string]interface{}{
+			"panics":           f.panics.Load(),
+			"requestTimeoutMs": timeout.Milliseconds(),
+		},
+	}
+	if persistence != nil {
+		body["persistence"] = persistence()
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// handleVerdicts serves GET /api/fleet/verdicts?unit=&limit=: one unit's
+// recent verdict stream. The unit key is mandatory; an out-of-range unit
+// is a 404 and malformed parameters are 400s.
+func (f *Fleet) handleVerdicts(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	if r.URL.Query().Get("unit") == "" {
+		http.Error(w, "unit required", http.StatusBadRequest)
+		return
+	}
+	unit, ok := queryInt(r, "unit", 0)
+	if !ok {
+		http.Error(w, "bad unit", http.StatusBadRequest)
+		return
+	}
+	if unit >= len(f.units) {
+		http.Error(w, "no such unit", http.StatusNotFound)
+		return
+	}
+	limit, ok := queryInt(r, "limit", 50)
+	if !ok || limit < 1 {
+		http.Error(w, "bad limit", http.StatusBadRequest)
+		return
+	}
+	name, verdicts := f.units[unit].verdictPage(limit)
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"unit":     unit,
+		"name":     name,
+		"count":    len(verdicts),
+		"verdicts": verdicts,
+	})
+}

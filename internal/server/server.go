@@ -6,9 +6,9 @@ package server
 
 import (
 	"encoding/json"
-	"fmt"
 	"log"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -345,20 +345,48 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// queryInt parses the named query parameter as a canonical non-negative
+// decimal integer: ASCII digits only. fmt.Sscanf's "%d" (the previous
+// parser) accepted trailing garbage ("5abc") and sign prefixes ("+5");
+// a fleet dashboard paginating over thousands of units needs malformed
+// input rejected hard, not best-effort parsed. An absent or empty
+// parameter returns def; the second return is false on malformed or
+// overflow-sized input.
+func queryInt(r *http.Request, name string, def int) (int, bool) {
+	q := r.URL.Query().Get(name)
+	if q == "" {
+		return def, true
+	}
+	if len(q) > 18 { // longer than any plausible value; also bounds overflow
+		return 0, false
+	}
+	for i := 0; i < len(q); i++ {
+		if q[i] < '0' || q[i] > '9' {
+			return 0, false
+		}
+	}
+	v, err := strconv.Atoi(q)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
 func (s *Server) handleVerdicts(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
-	limit := 50
-	if q := r.URL.Query().Get("limit"); q != "" {
-		if _, err := fmt.Sscanf(q, "%d", &limit); err != nil || limit <= 0 {
-			http.Error(w, "bad limit", http.StatusBadRequest)
-			return
-		}
+	limit, ok := queryInt(r, "limit", 50)
+	if !ok || limit < 1 {
+		http.Error(w, "bad limit", http.StatusBadRequest)
+		return
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if limit > s.maxHist {
+		limit = s.maxHist // the buffer never holds more anyway
+	}
 	vs := s.verdicts
 	if len(vs) > limit {
 		vs = vs[len(vs)-limit:]

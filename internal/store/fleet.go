@@ -1,0 +1,171 @@
+// FleetPersister multiplexes many units' verdict streams into one Store:
+// each unit gets a monitor.Persister adapter keyed by its index, appends
+// land as RecUnitVerdict records in a single WAL, and recovery hands each
+// unit back its own verdict history and dedupe horizon. The fleet WAL is a
+// verdict journal, not a full-state resume: per-unit snapshots and
+// threshold swaps are deliberately not persisted (a restarted fleet
+// re-derives detection state deterministically from the workload replay,
+// and the dedupe horizon suppresses re-journaling the catch-up verdicts —
+// the same mechanism the single-unit Persister uses).
+package store
+
+import (
+	"fmt"
+	"sync"
+
+	"dbcatcher/internal/monitor"
+	"dbcatcher/internal/window"
+)
+
+// ----- Recovered interpretation: unit-keyed records -----
+
+// UnitVerdictHistory returns unit's persisted verdicts in sequence order,
+// for re-seeding that unit's API verdict buffer. How far back it reaches
+// is bounded by segment retention.
+func (r *Recovered) UnitVerdictHistory(unit int) []monitor.Verdict {
+	if r == nil {
+		return nil
+	}
+	var out []monitor.Verdict
+	for _, rec := range r.Records {
+		if rec.Type == RecUnitVerdict && rec.UnitVerdict.Unit == unit {
+			out = append(out, recordVerdict(rec.UnitVerdict.Verdict))
+		}
+	}
+	return out
+}
+
+// UnitDurableTicks returns, per unit, the newest tick any persisted
+// unit-keyed verdict covers — the dedupe horizon below which regenerated
+// catch-up verdicts are suppressed. Units with no records are absent.
+func (r *Recovered) UnitDurableTicks() map[int]int {
+	if r == nil {
+		return nil
+	}
+	out := make(map[int]int)
+	for _, rec := range r.Records {
+		if rec.Type != RecUnitVerdict {
+			continue
+		}
+		u, t := rec.UnitVerdict.Unit, rec.UnitVerdict.Verdict.Tick
+		if cur, ok := out[u]; !ok || t > cur {
+			out[u] = t
+		}
+	}
+	return out
+}
+
+// ----- the fleet bridge -----
+
+// FleetPersister journals a whole fleet's verdict streams into one Store.
+// Like Persister, its hooks are durability best-effort: append failures are
+// counted and surfaced via Status, never propagated into detection.
+type FleetPersister struct {
+	mu      sync.Mutex
+	st      *Store
+	durable map[int]int // per-unit dedupe horizon
+
+	verdicts   uint64
+	suppressed uint64
+	errors     uint64
+	lastErr    string
+}
+
+// NewFleetPersister builds the bridge; rec (from Open) seeds each unit's
+// regeneration dedupe horizon.
+func NewFleetPersister(st *Store, rec *Recovered) *FleetPersister {
+	durable := rec.UnitDurableTicks()
+	if durable == nil {
+		durable = make(map[int]int)
+	}
+	return &FleetPersister{st: st, durable: durable}
+}
+
+// DurableTick returns unit's dedupe horizon (0 when nothing is on disk).
+func (p *FleetPersister) DurableTick(unit int) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.durable[unit]
+}
+
+// Unit returns unit i's monitor.Persister adapter. The adapter journals
+// verdicts under the unit key and intentionally drops threshold swaps: the
+// fleet WAL records judgment streams, not per-unit tuning state.
+func (p *FleetPersister) Unit(i int) monitor.Persister {
+	return unitPersister{p: p, unit: i}
+}
+
+type unitPersister struct {
+	p    *FleetPersister
+	unit int
+}
+
+func (u unitPersister) PersistVerdict(v *monitor.Verdict, _ monitor.PersistContext) {
+	u.p.persistVerdict(u.unit, v)
+}
+
+func (u unitPersister) PersistThresholds(window.Thresholds, monitor.PersistContext) {}
+
+func (p *FleetPersister) persistVerdict(unit int, v *monitor.Verdict) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if hor, ok := p.durable[unit]; ok && v.Tick <= hor {
+		// Regenerated during post-restart catch-up; already on disk.
+		p.suppressed++
+		return
+	}
+	_, err := p.st.AppendUnitVerdict(UnitVerdictRecord{Unit: unit, Verdict: verdictRecord(v)})
+	if err != nil {
+		p.errors++
+		p.lastErr = err.Error()
+		return
+	}
+	p.verdicts++
+	p.durable[unit] = v.Tick
+}
+
+// Flush syncs the WAL — the fleet daemon's graceful-shutdown path.
+func (p *FleetPersister) Flush() error {
+	if err := p.st.Sync(); err != nil {
+		p.mu.Lock()
+		p.errors++
+		p.lastErr = err.Error()
+		p.mu.Unlock()
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.lastErr != "" {
+		return fmt.Errorf("store: fleet persistence degraded: %s", p.lastErr)
+	}
+	return nil
+}
+
+// FleetStatus summarizes fleet persistence for operator endpoints.
+type FleetStatus struct {
+	Dir         string  `json:"dir"`
+	FsyncPolicy string  `json:"fsyncPolicy"`
+	Units       int     `json:"unitsWithRecords"`
+	Verdicts    uint64  `json:"verdicts"`
+	Suppressed  uint64  `json:"suppressedReplays"`
+	Errors      uint64  `json:"errors"`
+	LastError   string  `json:"lastError,omitempty"`
+	Store       Metrics `json:"store"`
+}
+
+// Status implements the server's persistence provider.
+func (p *FleetPersister) Status() interface{} {
+	p.mu.Lock()
+	st := FleetStatus{
+		Dir:         p.st.Dir(),
+		FsyncPolicy: p.st.Policy().String(),
+		Units:       len(p.durable),
+		Verdicts:    p.verdicts,
+		Suppressed:  p.suppressed,
+		Errors:      p.errors,
+		LastError:   p.lastErr,
+	}
+	p.mu.Unlock()
+	st.Store = p.st.Metrics()
+	return st
+}

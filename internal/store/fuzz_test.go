@@ -30,14 +30,23 @@ func FuzzDecodeRecord(f *testing.F) {
 		{Type: RecRelearn, Relearn: RelearnRecord{
 			Tick: 80, Attempt: 1, Event: 2, Fitness: -1, Baseline: -1, FlipRate: -1,
 		}},
+		{Type: RecUnitVerdict, UnitVerdict: UnitVerdictRecord{
+			Unit: 17, Verdict: VerdictRecord{
+				Tick: 40, Start: 20, Size: 20, AbnormalDB: 1, Expansions: 1,
+				GapCells: 3, Abnormal: true, Health: 2, States: []uint8{0, 2, 0},
+			},
+		}},
+		{Type: RecUnitVerdict, UnitVerdict: UnitVerdictRecord{Verdict: VerdictRecord{Tick: 1, AbnormalDB: -1}}},
 	} {
 		f.Add(appendPayload(nil, &r))
 	}
-	// Adversarial seeds: unknown type, truncated varint, huge length claim.
+	// Adversarial seeds: unknown type, truncated varint, huge length claim,
+	// unit index past the maxUnits bound.
 	f.Add([]byte{})
 	f.Add([]byte{9, 1, 2, 3})
 	f.Add([]byte{byte(RecVerdict), 0xff})
 	f.Add([]byte{byte(RecThresholds), 1, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f})
+	f.Add([]byte{byte(RecUnitVerdict), 0x80, 0x80, 0x41, 1, 1, 1, 0, 0, 0, 0, 0, 0})
 
 	f.Fuzz(func(t *testing.T, payload []byte) {
 		rec, err := decodePayload(payload)

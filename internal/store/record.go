@@ -30,6 +30,10 @@ const (
 	RecThresholds RecordType = 4
 	// RecRelearn is a relearning-supervisor lifecycle transition.
 	RecRelearn RecordType = 5
+	// RecUnitVerdict is one fleet unit's emitted verdict: the RecVerdict
+	// payload prefixed with the unit index, so a single multiplexed WAL
+	// persists every unit's verdict stream in one data directory.
+	RecUnitVerdict RecordType = 6
 )
 
 // Decoder sanity bounds: a record claiming more than these is corrupt, not
@@ -38,6 +42,7 @@ const (
 const (
 	maxStates = 1 << 12 // databases per verdict
 	maxAlphas = 1 << 12 // KPIs per threshold set
+	maxUnits  = 1 << 20 // fleet units per multiplexed WAL
 	maxCount  = 1 << 56 // any persisted counter/tick value
 )
 
@@ -96,15 +101,22 @@ type RelearnRecord struct {
 	FlipRate       float64
 }
 
+// UnitVerdictRecord is one fleet unit's verdict in a multiplexed WAL.
+type UnitVerdictRecord struct {
+	Unit    int
+	Verdict VerdictRecord
+}
+
 // Record is the tagged union carried by one WAL frame; Type selects which
 // member is meaningful.
 type Record struct {
-	Type       RecordType
-	Verdict    VerdictRecord
-	Feedback   FeedbackRecord
-	Counters   CountersRecord
-	Thresholds ThresholdsRecord
-	Relearn    RelearnRecord
+	Type        RecordType
+	Verdict     VerdictRecord
+	Feedback    FeedbackRecord
+	Counters    CountersRecord
+	Thresholds  ThresholdsRecord
+	Relearn     RelearnRecord
+	UnitVerdict UnitVerdictRecord
 }
 
 // SeqRecord is a replayed record with its log sequence number (1-based,
@@ -130,9 +142,7 @@ func (r *Record) validate() error {
 		}
 		return nil
 	}
-	switch r.Type {
-	case RecVerdict:
-		v := &r.Verdict
+	validateVerdict := func(v *VerdictRecord) error {
 		if len(v.States) > maxStates {
 			return fmt.Errorf("store: %d states exceeds the %d limit", len(v.States), maxStates)
 		}
@@ -147,6 +157,17 @@ func (r *Record) validate() error {
 				return err
 			}
 		}
+		return nil
+	}
+	switch r.Type {
+	case RecVerdict:
+		return validateVerdict(&r.Verdict)
+	case RecUnitVerdict:
+		u := &r.UnitVerdict
+		if u.Unit < 0 || u.Unit >= maxUnits {
+			return fmt.Errorf("store: unit %d out of range", u.Unit)
+		}
+		return validateVerdict(&u.Verdict)
 	case RecFeedback:
 		if err := checkCount("start", r.Feedback.Start); err != nil {
 			return err
@@ -219,22 +240,30 @@ func appendBool(b []byte, v bool) []byte {
 	return append(b, 0)
 }
 
+// appendVerdictFields serializes the VerdictRecord field block shared by
+// RecVerdict and RecUnitVerdict payloads.
+func appendVerdictFields(b []byte, v *VerdictRecord) []byte {
+	b = appendUvarint(b, uint64(v.Tick))
+	b = appendUvarint(b, uint64(v.Start))
+	b = appendUvarint(b, uint64(v.Size))
+	b = appendVarint(b, int64(v.AbnormalDB))
+	b = appendUvarint(b, uint64(v.Expansions))
+	b = appendUvarint(b, uint64(v.GapCells))
+	b = appendBool(b, v.Abnormal)
+	b = append(b, v.Health)
+	b = appendUvarint(b, uint64(len(v.States)))
+	return append(b, v.States...)
+}
+
 // appendPayload serializes a record (type byte + fields) onto b.
 func appendPayload(b []byte, r *Record) []byte {
 	b = append(b, byte(r.Type))
 	switch r.Type {
 	case RecVerdict:
-		v := &r.Verdict
-		b = appendUvarint(b, uint64(v.Tick))
-		b = appendUvarint(b, uint64(v.Start))
-		b = appendUvarint(b, uint64(v.Size))
-		b = appendVarint(b, int64(v.AbnormalDB))
-		b = appendUvarint(b, uint64(v.Expansions))
-		b = appendUvarint(b, uint64(v.GapCells))
-		b = appendBool(b, v.Abnormal)
-		b = append(b, v.Health)
-		b = appendUvarint(b, uint64(len(v.States)))
-		b = append(b, v.States...)
+		b = appendVerdictFields(b, &r.Verdict)
+	case RecUnitVerdict:
+		b = appendUvarint(b, uint64(r.UnitVerdict.Unit))
+		b = appendVerdictFields(b, &r.UnitVerdict.Verdict)
 	case RecFeedback:
 		f := &r.Feedback
 		b = appendUvarint(b, uint64(f.Start))
@@ -367,9 +396,7 @@ func decodePayload(b []byte) (Record, error) {
 	r := payloadReader{b: b}
 	var rec Record
 	rec.Type = RecordType(r.byteVal())
-	switch rec.Type {
-	case RecVerdict:
-		v := &rec.Verdict
+	decodeVerdictFields := func(v *VerdictRecord) {
 		v.Tick = r.count()
 		v.Start = r.count()
 		v.Size = r.count()
@@ -390,6 +417,17 @@ func decodePayload(b []byte) (Record, error) {
 			v.States = append([]uint8(nil), r.b[r.off:r.off+n]...)
 			r.off += n
 		}
+	}
+	switch rec.Type {
+	case RecVerdict:
+		decodeVerdictFields(&rec.Verdict)
+	case RecUnitVerdict:
+		u := &rec.UnitVerdict
+		u.Unit = r.count()
+		if r.err == nil && u.Unit >= maxUnits {
+			r.fail("store: unit %d out of range", u.Unit)
+		}
+		decodeVerdictFields(&u.Verdict)
 	case RecFeedback:
 		f := &rec.Feedback
 		f.Start = r.count()

@@ -176,6 +176,12 @@ func (s *Store) AppendThresholds(t ThresholdsRecord) (uint64, error) {
 	return s.append(&Record{Type: RecThresholds, Thresholds: t})
 }
 
+// AppendUnitVerdict logs one fleet unit's judgment verdict into the
+// multiplexed fleet WAL.
+func (s *Store) AppendUnitVerdict(u UnitVerdictRecord) (uint64, error) {
+	return s.append(&Record{Type: RecUnitVerdict, UnitVerdict: u})
+}
+
 // AppendRelearn logs one relearning-supervisor lifecycle transition.
 func (s *Store) AppendRelearn(l RelearnRecord) (uint64, error) {
 	return s.append(&Record{Type: RecRelearn, Relearn: l})
