@@ -45,11 +45,12 @@ bench-diff:
 	$(GO) run ./cmd/bench -diff BENCH_core.json -benchtime 100ms
 
 # Fuzz the untrusted-input decoders (the tracefile reader and the WAL
-# record decoder) and the streaming-vs-exact KCD equivalence. Each target
-# gets $(FUZZTIME).
+# record decoder), the streaming-vs-exact KCD equivalence, and the
+# incident transition-sequence replayer. Each target gets $(FUZZTIME).
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzRead -fuzztime $(FUZZTIME) ./internal/tracefile
 	$(GO) test -run '^$$' -fuzz FuzzDecodeRecord -fuzztime $(FUZZTIME) ./internal/store
 	$(GO) test -run '^$$' -fuzz FuzzStreamKCD -fuzztime $(FUZZTIME) ./internal/correlate
+	$(GO) test -run '^$$' -fuzz FuzzRestore -fuzztime $(FUZZTIME) ./internal/incident
 
 check: build vet test

@@ -30,9 +30,10 @@ import (
 	"dbcatcher/internal/detect"
 	"dbcatcher/internal/feedback"
 	"dbcatcher/internal/fleet"
+	"dbcatcher/internal/incident"
 	"dbcatcher/internal/kpi"
-	"dbcatcher/internal/monitor"
 	"dbcatcher/internal/mathx"
+	"dbcatcher/internal/monitor"
 	"dbcatcher/internal/relearn"
 	"dbcatcher/internal/scrape"
 	"dbcatcher/internal/store"
@@ -56,11 +57,15 @@ type Entry struct {
 
 // Report is the full document written to BENCH_core.json.
 type Report struct {
-	Schema      string  `json:"schema"`
-	GoVersion   string  `json:"go_version"`
-	GOOS        string  `json:"goos"`
-	GOARCH      string  `json:"goarch"`
-	GOMAXPROCS  int     `json:"gomaxprocs"`
+	Schema     string `json:"schema"`
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// NumCPU is the host's logical core count — recorded alongside
+	// GOMAXPROCS so a baseline generated with a restricted GOMAXPROCS is
+	// distinguishable from one generated on a genuinely smaller host.
+	NumCPU      int     `json:"num_cpu"`
 	GeneratedAt string  `json:"generated_at"`
 	Window      int     `json:"window"`
 	KPIs        int     `json:"kpis"`
@@ -79,6 +84,10 @@ type Report struct {
 	// ScrapeAssembleAllocs is the scrape round assembler's allocs/op —
 	// its zero-alloc contract, asserted by TestAssemblerShapesAndZeroAlloc.
 	ScrapeAssembleAllocs int64 `json:"scrape_assemble_allocs"`
+	// IncidentIngestAllocs is the incident aggregator's steady-state
+	// allocs/op for a 32-unit reinforcing round — its zero-alloc contract,
+	// asserted by TestSteadyStateDedupIsAllocationFree.
+	IncidentIngestAllocs int64 `json:"incident_ingest_allocs"`
 	// FleetRoundScale32 = ns/op of one 32-shard fleet round over 32x the
 	// 1-shard round. 1.0 means round latency grows exactly linearly with
 	// shard count; below 1.0 the scheduler amortizes per-round overhead
@@ -126,6 +135,7 @@ func main() {
 		GOOS:        runtime.GOOS,
 		GOARCH:      runtime.GOARCH,
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		Window:      *win,
 		KPIs:        kpi.Count,
@@ -475,10 +485,42 @@ func main() {
 	fleet32 := fleetBench(32)
 	add(fleet32)
 
+	// incident/ingest: the incident aggregator's steady-state dedup path —
+	// one 32-unit round where every unit reinforces its already-open
+	// incident. This is the per-round cost while a fleet-wide fault is
+	// ongoing (the worst sustained load) and it must stay allocation-free:
+	// merge hits update incidents in place and the close sweep reuses its
+	// scratch slice. The persist hook is attached so the measured path is
+	// the journaling configuration the daemon actually runs.
+	const ingestUnits = 32
+	iagg := incident.New(incident.Config{ProximityTicks: 64, CloseAfter: 1 << 30})
+	iagg.SetPersist(func(incident.Transition) {})
+	ingestEvents := make([]incident.Event, ingestUnits)
+	ingestTick := 100
+	ingestRound := func() {
+		for i := range ingestEvents {
+			ingestEvents[i] = incident.Event{
+				Unit: i, DB: i % dbs, KPIs: incident.KPISet(0).With(2).With(12),
+				Start: ingestTick - 20, End: ingestTick,
+			}
+		}
+		iagg.ObserveRound(ingestTick, ingestEvents)
+		ingestTick += 4
+	}
+	ingestRound() // first round opens the incidents; every later one merges
+	incidentIngest := measure("incident/ingest", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ingestRound()
+		}
+	})
+	add(incidentIngest)
+
 	rep.BuildSpeedupParallel = serialScratch.NsPerOp / parallelScratch.NsPerOp
 	rep.BuildAllocReduction = float64(serialAlloc.AllocsPerOp) / float64(serialScratch.AllocsPerOp)
 	rep.KCDAllocsScratch = kcdScratch.AllocsPerOp
 	rep.ScrapeAssembleAllocs = scrapeAssemble.AllocsPerOp
+	rep.IncidentIngestAllocs = incidentIngest.AllocsPerOp
 	rep.FleetRoundScale32 = fleet32.NsPerOp / (32 * fleet1.NsPerOp)
 
 	if *diff != "" {

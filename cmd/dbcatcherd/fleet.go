@@ -18,9 +18,11 @@ import (
 	"dbcatcher/internal/cluster"
 	"dbcatcher/internal/detect"
 	"dbcatcher/internal/fleet"
+	"dbcatcher/internal/incident"
 	"dbcatcher/internal/kpi"
 	"dbcatcher/internal/mathx"
 	"dbcatcher/internal/monitor"
+	"dbcatcher/internal/rootcause"
 	"dbcatcher/internal/server"
 	"dbcatcher/internal/store"
 	"dbcatcher/internal/window"
@@ -47,6 +49,11 @@ type fleetConfig struct {
 	plan        workload.FaultPlan // template; seeded per unit
 	dataDir     string
 	fsyncPolicy string
+
+	incidents     bool // fleet incident aggregation stage
+	incidentProx  int  // cross-unit clustering proximity (ticks)
+	incidentClose int  // quiet ticks before an incident closes
+	incidentHist  int  // closed clusters retained for paging
 }
 
 func runFleet(cfg fleetConfig) {
@@ -111,6 +118,19 @@ func runFleet(cfg fleetConfig) {
 			cfg.plan.DropTickRate, cfg.plan.DropCellRate, cfg.plan.PartialRowRate, cfg.plan.StaleRate, len(cfg.plan.Silences))
 	}
 
+	// Incident aggregation (optional): dedup repeated per-tick verdicts into
+	// incidents, cluster co-occurring anomalies across units, and attribute
+	// each closed cluster to a probable origin. The aggregator is fed by the
+	// feeder after every fleet round and served via /api/incidents.
+	var agg *incident.Aggregator
+	if cfg.incidents {
+		agg = incident.New(incident.Config{
+			ProximityTicks: cfg.incidentProx,
+			CloseAfter:     cfg.incidentClose,
+			MaxHistory:     cfg.incidentHist,
+		})
+	}
+
 	// Durable state: one multiplexed WAL holds every unit's verdict stream
 	// (unit-keyed records). Fleet mode journals judgments rather than full
 	// judge state: after a restart detection replays deterministically from
@@ -136,9 +156,36 @@ func runFleet(cfg fleetConfig) {
 			servers[i].RestoreHistory(hist)
 			onlines[i].SetPersister(fp.Unit(i))
 		}
+		if agg != nil {
+			// Rehydrate before any hook is attached: replayed transitions
+			// must not be re-journaled or re-reported.
+			if err := agg.Restore(rec.IncidentTransitions()); err != nil {
+				log.Printf("recovery: incident journal rejected (%v); starting incident state fresh", err)
+				agg = incident.New(incident.Config{
+					ProximityTicks: cfg.incidentProx,
+					CloseAfter:     cfg.incidentClose,
+					MaxHistory:     cfg.incidentHist,
+				})
+			} else if h := agg.Horizon(); h > 0 {
+				log.Printf("recovery: incident state rehydrated through round tick %d", h)
+			}
+		}
 		m := st.Metrics()
 		log.Printf("durable fleet state: dir=%s fsync=%s recovered %d verdicts across units (torn tail %v)",
 			cfg.dataDir, policy, recovered, m.TornTail)
+	}
+
+	// Hooks go on after Restore so replay is silent. The persist buffer
+	// collects one round's transitions for a single atomic WAL record; it is
+	// only touched from the feeder goroutine (ObserveRound runs there).
+	var incBuf []incident.Transition
+	if agg != nil {
+		if fp != nil {
+			agg.SetPersist(func(t incident.Transition) { incBuf = append(incBuf, t) })
+		}
+		agg.SetOnClusterClose(func(rep *incident.ClusterReport) {
+			log.Printf("INCIDENT closed: %s", rootcause.AttributeFleet(rep).Summary)
+		})
 	}
 
 	mon, err := fleet.NewMonitor(pushers, cfg.fleetConc)
@@ -148,6 +195,9 @@ func runFleet(cfg fleetConfig) {
 	api := server.NewFleet(servers)
 	if fp != nil {
 		api.SetPersistence(fp.Status)
+	}
+	if agg != nil {
+		api.SetIncidents(agg)
 	}
 
 	stop := make(chan struct{})
@@ -180,13 +230,35 @@ func runFleet(cfg fleetConfig) {
 				log.Printf("fleet round: %v", err)
 				return
 			}
-			for _, v := range verdicts {
+			var events []incident.Event
+			for unit, v := range verdicts {
 				if v == nil {
 					continue
 				}
 				verdictCount++
 				if v.Abnormal {
 					abnormalCount++
+					if agg != nil {
+						events = append(events, incident.Event{
+							Unit:  unit,
+							DB:    v.AbnormalDB,
+							KPIs:  deviatingKPIs(onlines[unit], v),
+							Start: v.Start,
+							End:   v.Start + v.Size,
+						})
+					}
+				}
+			}
+			if agg != nil {
+				// One ObserveRound per fleet round, journaled as one atomic
+				// WAL record: a crash loses whole rounds off the tail, never
+				// part of one. Rounds at or below the rehydrated horizon are
+				// skipped inside the aggregator, so post-restart catch-up
+				// re-emits (and re-journals) nothing.
+				incBuf = incBuf[:0]
+				agg.ObserveRound(tick, events)
+				if fp != nil {
+					fp.RecordIncidentRound(tick, incBuf)
 				}
 			}
 			if tick > 0 && tick%1000 == 0 {
@@ -196,6 +268,11 @@ func runFleet(cfg fleetConfig) {
 		}
 		log.Printf("fleet replay finished: %d rounds, %d verdicts, %d abnormal",
 			mon.Ticks(), verdictCount, abnormalCount)
+		if agg != nil {
+			s := agg.Status()
+			log.Printf("incident state: %d open / %d closed incidents in %d open / %d closed clusters (%d verdicts merged)",
+				s.OpenIncidents, s.ClosedIncidents, s.OpenClusters, s.ClosedClusters, s.Merged)
+		}
 	}()
 
 	httpSrv := &http.Server{
@@ -236,9 +313,39 @@ func runFleet(cfg fleetConfig) {
 		}
 	}()
 
-	log.Printf("fleet API listening on %s (/api/fleet/status, /api/fleet/verdicts?unit=N)", cfg.addr)
+	endpoints := "/api/fleet/status, /api/fleet/verdicts?unit=N"
+	if agg != nil {
+		endpoints += ", /api/incidents"
+	}
+	log.Printf("fleet API listening on %s (%s)", cfg.addr, endpoints)
 	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		log.Fatalf("dbcatcherd: %v", err)
 	}
 	<-shutdownDone
+}
+
+// deviatingKPIs attributes an abnormal verdict to the indicators that broke
+// correlation, by re-judging the verdict's window with per-KPI explanation
+// on the abnormal database. A zero set is legal — the window may already be
+// evicted from the unit's ring by the time the verdict lands — and opens
+// the incident unattributed rather than dropping it.
+func deviatingKPIs(o *monitor.Online, v *monitor.Verdict) incident.KPISet {
+	if v.AbnormalDB < 0 {
+		return 0
+	}
+	u, err := o.Processor().Window(v.Start, v.Size)
+	if err != nil {
+		return 0
+	}
+	exps, err := detect.Explain(detect.NewProvider(u, nil, nil), detect.Config{
+		Thresholds: o.Thresholds(),
+	}, 0, v.Size)
+	if err != nil || v.AbnormalDB >= len(exps) {
+		return 0
+	}
+	var set incident.KPISet
+	for _, k := range exps[v.AbnormalDB].Culprits() {
+		set = set.With(int(k))
+	}
+	return set
 }

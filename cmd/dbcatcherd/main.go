@@ -110,6 +110,11 @@ func main() {
 		fleetConc = flag.Int("fleet-concurrency", 0, "fleet round scheduler worker pool (0 = GOMAXPROCS); per-unit verdicts are identical at any setting")
 		fleetHist = flag.Int("fleet-history", 128, "verdict history buffer per fleet unit")
 
+		incidentsOn   = flag.Bool("incidents", false, "fleet incident aggregation: dedup repeated verdicts into incidents, cluster co-occurring anomalies across units, serve /api/incidents (requires -units > 1)")
+		incidentProx  = flag.Int("incident-proximity", 32, "ticks within which anomalies on different units join one fleet incident cluster")
+		incidentClose = flag.Int("incident-close-after", 64, "quiet ticks after an incident's last sighting before it closes")
+		incidentHist  = flag.Int("incident-history", 256, "closed incident clusters retained for /api/incidents paging")
+
 		relearnOn     = flag.Bool("relearn", false, "enable the drift-triggered adaptive threshold relearning supervisor")
 		relearnDL     = flag.Duration("relearn-deadline", 30*time.Second, "wall-clock budget for one background threshold search")
 		relearnCool   = flag.Duration("relearn-cooldown", 2*time.Minute, "minimum gap between retrain attempts (converted to ticks at the replay rate)")
@@ -155,26 +160,36 @@ func main() {
 			log.Fatalf("dbcatcherd: %v", err)
 		}
 		runFleet(fleetConfig{
-			addr:        *addr,
-			units:       *units,
-			dbs:         *dbs,
-			profile:     p,
-			seed:        *seed,
-			speedup:     *speedup,
-			anomalies:   *anomalies,
-			horizon:     *horizon,
-			workers:     *conc,
-			fleetConc:   *fleetConc,
-			history:     *fleetHist,
-			streaming:   *streaming,
-			plan:        plan,
-			dataDir:     *dataDir,
-			fsyncPolicy: *fsyncPolicy,
+			addr:          *addr,
+			units:         *units,
+			dbs:           *dbs,
+			profile:       p,
+			seed:          *seed,
+			speedup:       *speedup,
+			anomalies:     *anomalies,
+			horizon:       *horizon,
+			workers:       *conc,
+			fleetConc:     *fleetConc,
+			history:       *fleetHist,
+			streaming:     *streaming,
+			plan:          plan,
+			dataDir:       *dataDir,
+			fsyncPolicy:   *fsyncPolicy,
+			incidents:     *incidentsOn,
+			incidentProx:  *incidentProx,
+			incidentClose: *incidentClose,
+			incidentHist:  *incidentHist,
 		})
 		return
 	}
 	if *units < 1 {
 		log.Fatalf("dbcatcherd: -units must be at least 1")
+	}
+	// Incident aggregation clusters anomalies *across* units; with one unit
+	// there is nothing to cluster, so reject it like fleet mode rejects
+	// single-unit-only flags instead of silently ignoring it.
+	if *incidentsOn {
+		log.Fatalf("dbcatcherd: -incidents requires -units > 1 (fleet mode)")
 	}
 
 	log.Printf("simulating unit: %d databases, profile %v, %d ticks", *dbs, p, *horizon)

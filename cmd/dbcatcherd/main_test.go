@@ -58,15 +58,15 @@ func TestParseSilencesStrict(t *testing.T) {
 	// The old fmt.Sscanf path accepted trailing garbage ("1:2:3junk" parsed
 	// as 1:2:3) and sign prefixes; every field is now digits-only.
 	for _, bad := range []string{
-		"1:2:3junk", // trailing garbage on the last field
-		"+1:2:3",    // sign prefix
-		"1:-2:3",    // negative field
-		"1:2",       // too few fields
-		"1:2:3:4",   // too many fields
-		"1::3",      // empty field
-		"abc",       // not a spec at all
-		"1:2:3,",    // trailing comma leaves an empty spec
-		"1: 2:3",    // interior whitespace inside a field
+		"1:2:3junk",                // trailing garbage on the last field
+		"+1:2:3",                   // sign prefix
+		"1:-2:3",                   // negative field
+		"1:2",                      // too few fields
+		"1:2:3:4",                  // too many fields
+		"1::3",                     // empty field
+		"abc",                      // not a spec at all
+		"1:2:3,",                   // trailing comma leaves an empty spec
+		"1: 2:3",                   // interior whitespace inside a field
 		"1:2:99999999999999999999", // out of int range
 	} {
 		if _, err := parseSilences(bad); err == nil {

@@ -1,0 +1,287 @@
+package incident
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ring is a bounded FIFO over closed history: once full, pushing evicts
+// the oldest entry in place, so steady-state retention allocates nothing.
+type ring[T any] struct {
+	buf     []T
+	head, n int
+}
+
+func (r *ring[T]) init(capacity int) {
+	r.buf = make([]T, capacity)
+}
+
+func (r *ring[T]) push(v T) {
+	if r.n < len(r.buf) {
+		r.buf[(r.head+r.n)%len(r.buf)] = v
+		r.n++
+		return
+	}
+	r.buf[r.head] = v
+	r.head = (r.head + 1) % len(r.buf)
+}
+
+func (r *ring[T]) each(fn func(T)) {
+	for i := 0; i < r.n; i++ {
+		fn(r.buf[(r.head+i)%len(r.buf)])
+	}
+}
+
+// MemberReport is one unit incident inside a cluster report (a value
+// snapshot — safe to serialize while the live incident keeps moving).
+type MemberReport struct {
+	ID        uint64   `json:"id"`
+	Unit      int      `json:"unit"`
+	DB        int      `json:"db"`
+	KPIs      []string `json:"kpis"`
+	KPIMask   uint64   `json:"kpiMask"`
+	FirstTick int      `json:"firstTick"`
+	LastTick  int      `json:"lastTick"`
+	Count     int      `json:"count"`
+	Open      bool     `json:"open"`
+}
+
+// KPIOnset is the earliest deviation tick observed for one KPI inside a
+// cluster.
+type KPIOnset struct {
+	KPI  int `json:"kpi"`
+	Tick int `json:"tick"`
+}
+
+// Partition splits a cluster's dimensions into constant vs varying, the
+// compression that turns "six replicas decorrelated on the disk KPI" into
+// one line instead of six alerts.
+type Partition struct {
+	// Units and DBs are the distinct values observed, ascending.
+	Units []int `json:"units"`
+	DBs   []int `json:"dbs"`
+	// ConstantKPIs is the intersection of member KPI sets — the signature
+	// every member shares; VaryingKPIs is the union minus the intersection.
+	ConstantKPIs KPISet `json:"constantKpiMask"`
+	VaryingKPIs  KPISet `json:"varyingKpiMask"`
+}
+
+// ClusterReport is the operator-facing fleet incident: one temporal
+// cluster of unit incidents with its dimension partition and cascade
+// ordering.
+type ClusterReport struct {
+	ID        uint64         `json:"id"`
+	Open      bool           `json:"open"`
+	FirstTick int            `json:"firstTick"`
+	LastTick  int            `json:"lastTick"`
+	Members   []MemberReport `json:"members"`
+	Onsets    []KPIOnset     `json:"onsets"`
+	Partition Partition      `json:"partition"`
+	Cascade   []CascadeHint  `json:"cascade"`
+}
+
+// Summary renders the partitioned one-line rollup.
+func (r *ClusterReport) Summary() string {
+	var b strings.Builder
+	state := "closed"
+	if r.Open {
+		state = "open"
+	}
+	fmt.Fprintf(&b, "cluster %d (%s): %d incident(s) across unit(s) %s, db(s) %s, ticks [%d,%d)",
+		r.ID, state, len(r.Members), intRanges(r.Partition.Units), intRanges(r.Partition.DBs),
+		r.FirstTick, r.LastTick)
+	if r.Partition.ConstantKPIs != 0 {
+		fmt.Fprintf(&b, "; constant KPIs: %s", r.Partition.ConstantKPIs)
+	}
+	if r.Partition.VaryingKPIs != 0 {
+		fmt.Fprintf(&b, "; varying KPIs: %s", r.Partition.VaryingKPIs)
+	}
+	return b.String()
+}
+
+// intRanges compresses a sorted int slice into "0-5" / "0,2,4-6" form.
+func intRanges(vals []int) string {
+	if len(vals) == 0 {
+		return "-"
+	}
+	var b strings.Builder
+	for i := 0; i < len(vals); {
+		j := i
+		for j+1 < len(vals) && vals[j+1] == vals[j]+1 {
+			j++
+		}
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		if j > i {
+			fmt.Fprintf(&b, "%d-%d", vals[i], vals[j])
+		} else {
+			fmt.Fprintf(&b, "%d", vals[i])
+		}
+		i = j + 1
+	}
+	return b.String()
+}
+
+// buildReport snapshots a cluster. For closed clusters it runs after the
+// cluster's onsets folded into the global histograms, so its own cascade
+// counts itself. Caller holds the lock.
+func (a *Aggregator) buildReport(cl *cluster, open bool) *ClusterReport {
+	rep := &ClusterReport{
+		ID: cl.id, Open: open,
+		FirstTick: cl.firstTick, LastTick: cl.lastTick,
+		Members: make([]MemberReport, 0, len(cl.members)),
+	}
+	units := map[int]struct{}{}
+	dbs := map[int]struct{}{}
+	var inter, union KPISet
+	for i, m := range cl.members {
+		rep.Members = append(rep.Members, MemberReport{
+			ID: m.ID, Unit: m.Unit, DB: m.DB,
+			KPIs: m.KPIs.Names(), KPIMask: uint64(m.KPIs),
+			FirstTick: m.FirstTick, LastTick: m.LastTick,
+			Count: m.Count, Open: m.Open,
+		})
+		units[m.Unit] = struct{}{}
+		dbs[m.DB] = struct{}{}
+		if i == 0 {
+			inter = m.KPIs
+		} else {
+			inter &= m.KPIs
+		}
+		union |= m.KPIs
+	}
+	rep.Partition = Partition{
+		Units:        sortedKeys(units),
+		DBs:          sortedKeys(dbs),
+		ConstantKPIs: inter,
+		VaryingKPIs:  union &^ inter,
+	}
+	for k := 0; k < MaxKPIs; k++ {
+		if cl.onsets[k] >= 0 {
+			rep.Onsets = append(rep.Onsets, KPIOnset{KPI: k, Tick: cl.onsets[k]})
+		}
+	}
+	sort.SliceStable(rep.Onsets, func(i, j int) bool {
+		if rep.Onsets[i].Tick != rep.Onsets[j].Tick {
+			return rep.Onsets[i].Tick < rep.Onsets[j].Tick
+		}
+		return rep.Onsets[i].KPI < rep.Onsets[j].KPI
+	})
+	// Cascade hints: one oriented finding per KPI pair with observed
+	// onsets, drawn from the global histograms so confidence accumulates
+	// across recurring storms.
+	for i := 0; i < len(rep.Onsets); i++ {
+		for j := i + 1; j < len(rep.Onsets); j++ {
+			x, y := rep.Onsets[i].KPI, rep.Onsets[j].KPI
+			la, lb := x, y
+			if la > lb {
+				la, lb = lb, la
+			}
+			lag, share, samples := a.leadlag.hint(la, lb)
+			if samples == 0 {
+				continue
+			}
+			h := CascadeHint{Share: share, Samples: samples}
+			switch {
+			case lag > 0:
+				h.Lead, h.Lag, h.Ticks = la, lb, lag
+			case lag < 0:
+				h.Lead, h.Lag, h.Ticks = lb, la, -lag
+			default:
+				h.Lead, h.Lag, h.Ticks = x, y, 0
+			}
+			rep.Cascade = append(rep.Cascade, h)
+		}
+	}
+	return rep
+}
+
+func sortedKeys(m map[int]struct{}) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Page returns one page of cluster reports ordered by cluster ID
+// ascending — retained closed clusters plus a live snapshot of every open
+// one. total is the full row count before paging.
+func (a *Aggregator) Page(offset, limit int) (total int, rows []*ClusterReport) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	all := make([]*ClusterReport, 0, a.closedClus.n+len(a.clusters))
+	a.closedClus.each(func(r *ClusterReport) { all = append(all, r) })
+	for _, cl := range a.clusters {
+		all = append(all, a.buildReport(cl, true))
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].ID < all[j].ID })
+	total = len(all)
+	if offset < 0 || offset >= len(all) {
+		return total, []*ClusterReport{}
+	}
+	end := offset + limit
+	if limit <= 0 || end > len(all) {
+		end = len(all)
+	}
+	return total, all[offset:end]
+}
+
+// Fingerprint serializes the aggregator's complete observable state —
+// open incidents, closed-history rings, open clusters with onsets, cluster
+// reports, lag histograms, counters — into a canonical byte string. Two
+// aggregators that consumed equivalent input (live, or live + WAL replay)
+// produce identical fingerprints; the determinism and rehydration tests
+// pin on this.
+func (a *Aggregator) Fingerprint() []byte {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var b strings.Builder
+	fmt.Fprintf(&b, "counters merged=%d dropped=%d closedInc=%d closedClus=%d horizon=%d nextID=%d nextCluster=%d\n",
+		a.merged, a.dropped, a.closedIncTotal, a.closedClusTotal, a.horizon, a.nextID, a.nextCluster)
+	for _, inc := range a.openList {
+		fmt.Fprintf(&b, "open %s\n", inc)
+	}
+	a.closedInc.each(func(inc *Incident) {
+		fmt.Fprintf(&b, "closed %s\n", inc)
+	})
+	for _, cl := range a.clusters {
+		fmt.Fprintf(&b, "cluster %d open first=%d last=%d closeRound=%d members=[", cl.id, cl.firstTick, cl.lastTick, cl.memberCloseRound)
+		for i, m := range cl.members {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%d", m.ID)
+		}
+		fmt.Fprintf(&b, "] openMembers=%d onsets=", cl.openMembers)
+		for k := 0; k < MaxKPIs; k++ {
+			if cl.onsets[k] >= 0 {
+				fmt.Fprintf(&b, "%d@%d;", k, cl.onsets[k])
+			}
+		}
+		b.WriteByte('\n')
+	}
+	a.closedClus.each(func(r *ClusterReport) {
+		fmt.Fprintf(&b, "report %s\n", r.Summary())
+		for _, h := range r.Cascade {
+			fmt.Fprintf(&b, "  cascade %s\n", h)
+		}
+	})
+	pairs := make([]pairKey, 0, len(a.leadlag.hist))
+	for k := range a.leadlag.hist {
+		pairs = append(pairs, k)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].a != pairs[j].a {
+			return pairs[i].a < pairs[j].a
+		}
+		return pairs[i].b < pairs[j].b
+	})
+	for _, k := range pairs {
+		fmt.Fprintf(&b, "hist %d/%d %v\n", k.a, k.b, a.leadlag.hist[k])
+	}
+	return []byte(b.String())
+}

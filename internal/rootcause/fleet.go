@@ -1,0 +1,95 @@
+// Fleet-level attribution: instead of analyzing each unit's raw verdict
+// run in isolation, consume the incident aggregator's clustered fleet
+// incident and name a probable origin — which unit deviated first, on
+// which indicator, and what cascade order the lead-lag histograms support.
+package rootcause
+
+import (
+	"fmt"
+	"strings"
+
+	"dbcatcher/internal/incident"
+)
+
+// FleetReport is the operator-facing attribution for one clustered fleet
+// incident.
+type FleetReport struct {
+	ClusterID uint64 `json:"clusterId"`
+	// OriginUnit/OriginDB locate the earliest-onset member incident; -1
+	// when the cluster is empty.
+	OriginUnit int `json:"originUnit"`
+	OriginDB   int `json:"originDb"`
+	// OriginKPIs is the deviating-KPI set of that earliest member.
+	OriginKPIs []string `json:"originKpis"`
+	// OriginTick is the first-seen tick of the earliest member.
+	OriginTick int `json:"originTick"`
+	// Spread is how many distinct units the cluster reached.
+	Spread int `json:"spreadUnits"`
+	// Cascade is the lead-lag ordering inherited from the cluster report,
+	// strongest confidence first.
+	Cascade []incident.CascadeHint `json:"cascade,omitempty"`
+	// Summary is the rendered one-liner, ready for logs.
+	Summary string `json:"summary"`
+}
+
+// AttributeFleet derives the origin hypothesis from a finalized cluster
+// report. It is a pure function of the report — deterministic given
+// deterministic aggregation.
+func AttributeFleet(rep *incident.ClusterReport) *FleetReport {
+	fr := &FleetReport{ClusterID: rep.ID, OriginUnit: -1, OriginDB: -1}
+	if len(rep.Members) == 0 {
+		fr.Summary = fmt.Sprintf("cluster %d: no members", rep.ID)
+		return fr
+	}
+	// Origin = earliest first-seen member; ties break toward the lowest
+	// incident ID (the open order, itself deterministic).
+	origin := &rep.Members[0]
+	for i := 1; i < len(rep.Members); i++ {
+		m := &rep.Members[i]
+		if m.FirstTick < origin.FirstTick || (m.FirstTick == origin.FirstTick && m.ID < origin.ID) {
+			origin = m
+		}
+	}
+	fr.OriginUnit = origin.Unit
+	fr.OriginDB = origin.DB
+	fr.OriginKPIs = origin.KPIs
+	fr.OriginTick = origin.FirstTick
+	fr.Spread = len(rep.Partition.Units)
+
+	// Keep cascade hints in confidence order, strongest first; stable on
+	// ties so the report stays deterministic.
+	fr.Cascade = append(fr.Cascade, rep.Cascade...)
+	for i := 1; i < len(fr.Cascade); i++ {
+		for j := i; j > 0 && better(&fr.Cascade[j], &fr.Cascade[j-1]); j-- {
+			fr.Cascade[j], fr.Cascade[j-1] = fr.Cascade[j-1], fr.Cascade[j]
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "cluster %d: probable origin unit %d db %d at tick %d",
+		rep.ID, fr.OriginUnit, fr.OriginDB, fr.OriginTick)
+	if len(fr.OriginKPIs) > 0 {
+		fmt.Fprintf(&b, " on %s", strings.Join(fr.OriginKPIs, "|"))
+	}
+	if fr.Spread > 1 {
+		fmt.Fprintf(&b, ", spread to %d units", fr.Spread)
+	}
+	if len(fr.Cascade) > 0 {
+		fmt.Fprintf(&b, "; cascade: %s", fr.Cascade[0])
+	}
+	fr.Summary = b.String()
+	return fr
+}
+
+// better orders cascade hints: higher share x samples evidence first, then
+// the tighter lag, then lead KPI index.
+func better(a, b *incident.CascadeHint) bool {
+	ea, eb := a.Share*float64(a.Samples), b.Share*float64(b.Samples)
+	if ea != eb {
+		return ea > eb
+	}
+	if a.Ticks != b.Ticks {
+		return a.Ticks < b.Ticks
+	}
+	return a.Lead < b.Lead
+}

@@ -11,6 +11,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"dbcatcher/internal/incident"
 )
 
 // maxFleetPage bounds one /api/fleet/status page so a single request can
@@ -30,6 +32,7 @@ type Fleet struct {
 
 	mu          sync.Mutex
 	persistence func() interface{}
+	incidents   *incident.Aggregator
 	reqTimeout  time.Duration
 	panics      atomic.Int64
 }
@@ -46,6 +49,16 @@ func (f *Fleet) SetPersistence(fn func() interface{}) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.persistence = fn
+}
+
+// SetIncidents attaches the incident aggregator: it backs GET
+// /api/incidents and the "incidents" block of /api/fleet/status. The
+// aggregator is internally locked, so handlers read it while the feeder
+// observes rounds.
+func (f *Fleet) SetIncidents(a *incident.Aggregator) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.incidents = a
 }
 
 // SetRequestTimeout overrides the per-request bound applied by Handler
@@ -65,6 +78,7 @@ func (f *Fleet) Handler() http.Handler {
 	})
 	mux.HandleFunc("/api/fleet/status", f.handleStatus)
 	mux.HandleFunc("/api/fleet/verdicts", f.handleVerdicts)
+	mux.HandleFunc("/api/incidents", f.handleIncidents)
 	f.mu.Lock()
 	timeout := f.reqTimeout
 	f.mu.Unlock()
@@ -128,20 +142,15 @@ func (s *Server) fleetSummary(unit int) fleetUnitJSON {
 	}
 }
 
-// verdictPage copies out the newest limit verdicts under the unit's lock.
-func (s *Server) verdictPage(limit int) (string, []verdictJSON) {
+// verdictPage copies out the newest limit verdicts with Tick > since
+// under the unit's lock (since < 0 means unfiltered).
+func (s *Server) verdictPage(limit, since int) (string, []verdictJSON) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if limit > s.maxHist {
 		limit = s.maxHist
 	}
-	vs := s.verdicts
-	if len(vs) > limit {
-		vs = vs[len(vs)-limit:]
-	}
-	out := make([]verdictJSON, len(vs))
-	copy(out, vs)
-	return s.unitName, out
+	return s.unitName, filterVerdicts(s.verdicts, limit, since)
 }
 
 // handleStatus serves GET /api/fleet/status?offset=&limit=: region-wide
@@ -193,6 +202,7 @@ func (f *Fleet) handleStatus(w http.ResponseWriter, r *http.Request) {
 
 	f.mu.Lock()
 	persistence := f.persistence
+	incidents := f.incidents
 	timeout := f.reqTimeout
 	f.mu.Unlock()
 	body := map[string]interface{}{
@@ -209,6 +219,9 @@ func (f *Fleet) handleStatus(w http.ResponseWriter, r *http.Request) {
 	}
 	if persistence != nil {
 		body["persistence"] = persistence()
+	}
+	if incidents != nil {
+		body["incidents"] = incidents.Status()
 	}
 	writeJSON(w, http.StatusOK, body)
 }
@@ -239,11 +252,56 @@ func (f *Fleet) handleVerdicts(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad limit", http.StatusBadRequest)
 		return
 	}
-	name, verdicts := f.units[unit].verdictPage(limit)
+	since, ok := queryInt(r, "since", -1)
+	if !ok {
+		http.Error(w, "bad since", http.StatusBadRequest)
+		return
+	}
+	name, verdicts := f.units[unit].verdictPage(limit, since)
 	writeJSON(w, http.StatusOK, map[string]interface{}{
 		"unit":     unit,
 		"name":     name,
 		"count":    len(verdicts),
 		"verdicts": verdicts,
+	})
+}
+
+// handleIncidents serves GET /api/incidents?offset=&limit=: one page of
+// clustered fleet incidents (retained closed clusters plus live snapshots
+// of open ones), cluster-ID ascending. 404 when the incident stage is not
+// enabled; malformed pagination is a 400 like every fleet endpoint.
+func (f *Fleet) handleIncidents(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	f.mu.Lock()
+	agg := f.incidents
+	f.mu.Unlock()
+	if agg == nil {
+		http.Error(w, "incident aggregation not enabled", http.StatusNotFound)
+		return
+	}
+	offset, ok := queryInt(r, "offset", 0)
+	if !ok {
+		http.Error(w, "bad offset", http.StatusBadRequest)
+		return
+	}
+	limit, ok := queryInt(r, "limit", defaultFleetPage)
+	if !ok || limit < 1 {
+		http.Error(w, "bad limit", http.StatusBadRequest)
+		return
+	}
+	if limit > maxFleetPage {
+		limit = maxFleetPage
+	}
+	total, rows := agg.Page(offset, limit)
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"total":     total,
+		"offset":    offset,
+		"limit":     limit,
+		"count":     len(rows),
+		"status":    agg.Status(),
+		"incidents": rows,
 	})
 }

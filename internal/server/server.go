@@ -8,6 +8,7 @@ import (
 	"encoding/json"
 	"log"
 	"net/http"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -382,18 +383,36 @@ func (s *Server) handleVerdicts(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad limit", http.StatusBadRequest)
 		return
 	}
+	// since=<tick> narrows to verdicts strictly newer than the given tick,
+	// so a dashboard can poll incrementally with the last tick it has seen
+	// instead of re-downloading full history. Absent means no filter.
+	since, ok := queryInt(r, "since", -1)
+	if !ok {
+		http.Error(w, "bad since", http.StatusBadRequest)
+		return
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if limit > s.maxHist {
 		limit = s.maxHist // the buffer never holds more anyway
 	}
-	vs := s.verdicts
+	out := filterVerdicts(s.verdicts, limit, since)
+	writeJSON(w, http.StatusOK, out)
+}
+
+// filterVerdicts copies out the newest limit verdicts with Tick > since.
+// vs is tick-ascending, so the filter is a suffix cut.
+func filterVerdicts(vs []verdictJSON, limit, since int) []verdictJSON {
+	if since >= 0 {
+		lo := sort.Search(len(vs), func(i int) bool { return vs[i].Tick > since })
+		vs = vs[lo:]
+	}
 	if len(vs) > limit {
 		vs = vs[len(vs)-limit:]
 	}
 	out := make([]verdictJSON, len(vs))
 	copy(out, vs)
-	writeJSON(w, http.StatusOK, out)
+	return out
 }
 
 type thresholdsJSON struct {

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sync"
 
+	"dbcatcher/internal/incident"
 	"dbcatcher/internal/monitor"
 	"dbcatcher/internal/window"
 )
@@ -55,6 +56,31 @@ func (r *Recovered) UnitDurableTicks() map[int]int {
 	return out
 }
 
+// IncidentTransitions returns every persisted incident transition in
+// sequence order, ready for incident.Aggregator.Restore. Each round
+// record's RoundTick fans out onto its transitions.
+func (r *Recovered) IncidentTransitions() []incident.Transition {
+	if r == nil {
+		return nil
+	}
+	var out []incident.Transition
+	for _, rec := range r.Records {
+		if rec.Type != RecIncident {
+			continue
+		}
+		for i := range rec.Incident.Transitions {
+			tr := &rec.Incident.Transitions[i]
+			out = append(out, incident.Transition{
+				Event: tr.Event, ID: tr.ID, Cluster: tr.Cluster,
+				Unit: tr.Unit, DB: tr.DB, KPIs: incident.KPISet(tr.KPIs),
+				FirstTick: tr.FirstTick, LastTick: tr.LastTick,
+				Count: tr.Count, RoundTick: rec.Incident.RoundTick,
+			})
+		}
+	}
+	return out
+}
+
 // ----- the fleet bridge -----
 
 // FleetPersister journals a whole fleet's verdict streams into one Store.
@@ -65,10 +91,12 @@ type FleetPersister struct {
 	st      *Store
 	durable map[int]int // per-unit dedupe horizon
 
-	verdicts   uint64
-	suppressed uint64
-	errors     uint64
-	lastErr    string
+	verdicts       uint64
+	suppressed     uint64
+	incidentRounds uint64
+	incidentTrans  uint64
+	errors         uint64
+	lastErr        string
 }
 
 // NewFleetPersister builds the bridge; rec (from Open) seeds each unit's
@@ -124,6 +152,37 @@ func (p *FleetPersister) persistVerdict(unit int, v *monitor.Verdict) {
 	p.durable[unit] = v.Tick
 }
 
+// RecordIncidentRound journals one fleet round's incident transitions as
+// a single RecIncident record — the batch is the atomicity unit the
+// aggregator's replay contract needs (a crash loses whole rounds off the
+// tail, never part of one). No-op for empty rounds. Best-effort like the
+// verdict path: failures are counted, not propagated. Replay dedupe needs
+// no horizon here — a restored aggregator skips rounds at or below its
+// own horizon, so catch-up rounds emit no transitions to re-journal.
+func (p *FleetPersister) RecordIncidentRound(tick int, ts []incident.Transition) {
+	if len(ts) == 0 {
+		return
+	}
+	rec := IncidentRecord{RoundTick: tick, Transitions: make([]IncidentTransition, len(ts))}
+	for i := range ts {
+		t := &ts[i]
+		rec.Transitions[i] = IncidentTransition{
+			Event: t.Event, ID: t.ID, Cluster: t.Cluster,
+			Unit: t.Unit, DB: t.DB, KPIs: uint64(t.KPIs),
+			FirstTick: t.FirstTick, LastTick: t.LastTick, Count: t.Count,
+		}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, err := p.st.AppendIncident(rec); err != nil {
+		p.errors++
+		p.lastErr = err.Error()
+		return
+	}
+	p.incidentRounds++
+	p.incidentTrans += uint64(len(ts))
+}
+
 // Flush syncs the WAL — the fleet daemon's graceful-shutdown path.
 func (p *FleetPersister) Flush() error {
 	if err := p.st.Sync(); err != nil {
@@ -143,27 +202,33 @@ func (p *FleetPersister) Flush() error {
 
 // FleetStatus summarizes fleet persistence for operator endpoints.
 type FleetStatus struct {
-	Dir         string  `json:"dir"`
-	FsyncPolicy string  `json:"fsyncPolicy"`
-	Units       int     `json:"unitsWithRecords"`
-	Verdicts    uint64  `json:"verdicts"`
-	Suppressed  uint64  `json:"suppressedReplays"`
-	Errors      uint64  `json:"errors"`
-	LastError   string  `json:"lastError,omitempty"`
-	Store       Metrics `json:"store"`
+	Dir         string `json:"dir"`
+	FsyncPolicy string `json:"fsyncPolicy"`
+	Units       int    `json:"unitsWithRecords"`
+	Verdicts    uint64 `json:"verdicts"`
+	Suppressed  uint64 `json:"suppressedReplays"`
+	// IncidentRounds / IncidentTransitions count journaled incident-round
+	// batches and the transitions inside them.
+	IncidentRounds      uint64  `json:"incidentRounds"`
+	IncidentTransitions uint64  `json:"incidentTransitions"`
+	Errors              uint64  `json:"errors"`
+	LastError           string  `json:"lastError,omitempty"`
+	Store               Metrics `json:"store"`
 }
 
 // Status implements the server's persistence provider.
 func (p *FleetPersister) Status() interface{} {
 	p.mu.Lock()
 	st := FleetStatus{
-		Dir:         p.st.Dir(),
-		FsyncPolicy: p.st.Policy().String(),
-		Units:       len(p.durable),
-		Verdicts:    p.verdicts,
-		Suppressed:  p.suppressed,
-		Errors:      p.errors,
-		LastError:   p.lastErr,
+		Dir:                 p.st.Dir(),
+		FsyncPolicy:         p.st.Policy().String(),
+		Units:               len(p.durable),
+		Verdicts:            p.verdicts,
+		Suppressed:          p.suppressed,
+		IncidentRounds:      p.incidentRounds,
+		IncidentTransitions: p.incidentTrans,
+		Errors:              p.errors,
+		LastError:           p.lastErr,
 	}
 	p.mu.Unlock()
 	st.Store = p.st.Metrics()

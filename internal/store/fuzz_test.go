@@ -37,6 +37,15 @@ func FuzzDecodeRecord(f *testing.F) {
 			},
 		}},
 		{Type: RecUnitVerdict, UnitVerdict: UnitVerdictRecord{Verdict: VerdictRecord{Tick: 1, AbnormalDB: -1}}},
+		{Type: RecIncident, Incident: IncidentRecord{RoundTick: 120, Transitions: []IncidentTransition{
+			{Event: 1, ID: 1, Cluster: 1, Unit: 0, DB: 2, KPIs: 1 << 2, FirstTick: 100, LastTick: 120, Count: 1},
+			{Event: 2, ID: 1, Cluster: 1, Unit: 0, DB: 2, KPIs: 1 << 2, FirstTick: 100, LastTick: 140, Count: 2},
+		}}},
+		{Type: RecIncident, Incident: IncidentRecord{RoundTick: 172, Transitions: []IncidentTransition{
+			// Full-width KPI bitmask: every bit is legal in the fixed64 field.
+			{Event: 3, ID: 9, Cluster: 4, Unit: 31, DB: 0, KPIs: ^uint64(0), FirstTick: 0, LastTick: 8, Count: 3},
+		}}},
+		{Type: RecIncident, Incident: IncidentRecord{RoundTick: 0}},
 	} {
 		f.Add(appendPayload(nil, &r))
 	}
@@ -47,6 +56,8 @@ func FuzzDecodeRecord(f *testing.F) {
 	f.Add([]byte{byte(RecVerdict), 0xff})
 	f.Add([]byte{byte(RecThresholds), 1, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f})
 	f.Add([]byte{byte(RecUnitVerdict), 0x80, 0x80, 0x41, 1, 1, 1, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{byte(RecIncident), 1, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f})
+	f.Add([]byte{byte(RecIncident), 120, 1, 0, 1, 1, 0, 2}) // zero event byte
 
 	f.Fuzz(func(t *testing.T, payload []byte) {
 		rec, err := decodePayload(payload)

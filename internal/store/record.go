@@ -34,16 +34,22 @@ const (
 	// payload prefixed with the unit index, so a single multiplexed WAL
 	// persists every unit's verdict stream in one data directory.
 	RecUnitVerdict RecordType = 6
+	// RecIncident is one fleet round's batch of incident-lifecycle
+	// transitions (open/update/close) from the incident aggregator. Batching
+	// per round makes the record the atomicity unit replay needs: a crash
+	// can lose whole rounds off the tail, never tear one.
+	RecIncident RecordType = 7
 )
 
 // Decoder sanity bounds: a record claiming more than these is corrupt, not
 // big. They keep a fuzzed or damaged length prefix from driving huge
 // allocations during recovery.
 const (
-	maxStates = 1 << 12 // databases per verdict
-	maxAlphas = 1 << 12 // KPIs per threshold set
-	maxUnits  = 1 << 20 // fleet units per multiplexed WAL
-	maxCount  = 1 << 56 // any persisted counter/tick value
+	maxStates      = 1 << 12 // databases per verdict
+	maxAlphas      = 1 << 12 // KPIs per threshold set
+	maxUnits       = 1 << 20 // fleet units per multiplexed WAL
+	maxCount       = 1 << 56 // any persisted counter/tick value
+	maxTransitions = 1 << 16 // incident transitions per round record
 )
 
 // VerdictRecord mirrors monitor.Verdict with storage-plain fields.
@@ -107,6 +113,30 @@ type UnitVerdictRecord struct {
 	Verdict VerdictRecord
 }
 
+// IncidentTransition is one incident-lifecycle mutation with
+// storage-plain fields; Event is incident.TransOpen/Update/Close. KPIs is
+// the deviating-KPI bitmask, stored fixed-width (the full 64 bits are
+// meaningful, so uvarint's plausibility ceiling would reject high bits).
+type IncidentTransition struct {
+	Event     uint8
+	ID        uint64
+	Cluster   uint64
+	Unit      int
+	DB        int
+	KPIs      uint64
+	FirstTick int
+	LastTick  int
+	Count     int
+}
+
+// IncidentRecord batches every incident transition one fleet round
+// produced, keyed by the round tick — the aggregator's rehydration
+// horizon.
+type IncidentRecord struct {
+	RoundTick   int
+	Transitions []IncidentTransition
+}
+
 // Record is the tagged union carried by one WAL frame; Type selects which
 // member is meaningful.
 type Record struct {
@@ -117,6 +147,7 @@ type Record struct {
 	Thresholds  ThresholdsRecord
 	Relearn     RelearnRecord
 	UnitVerdict UnitVerdictRecord
+	Incident    IncidentRecord
 }
 
 // SeqRecord is a replayed record with its log sequence number (1-based,
@@ -201,6 +232,44 @@ func (r *Record) validate() error {
 			}
 		}
 		return checkFloat("theta", t.Theta)
+	case RecIncident:
+		in := &r.Incident
+		if len(in.Transitions) > maxTransitions {
+			return fmt.Errorf("store: %d transitions exceeds the %d limit", len(in.Transitions), maxTransitions)
+		}
+		if err := checkCount("round tick", in.RoundTick); err != nil {
+			return err
+		}
+		for i := range in.Transitions {
+			tr := &in.Transitions[i]
+			if tr.Event < 1 || tr.Event > 3 {
+				return fmt.Errorf("store: bad transition event %d", tr.Event)
+			}
+			if tr.ID == 0 || tr.ID >= maxCount {
+				return fmt.Errorf("store: incident id %d out of range", tr.ID)
+			}
+			if tr.Cluster == 0 || tr.Cluster >= maxCount {
+				return fmt.Errorf("store: cluster id %d out of range", tr.Cluster)
+			}
+			if tr.Unit < 0 || tr.Unit >= maxUnits {
+				return fmt.Errorf("store: unit %d out of range", tr.Unit)
+			}
+			if tr.DB < 0 || tr.DB >= maxStates {
+				return fmt.Errorf("store: db %d out of range", tr.DB)
+			}
+			if err := checkCount("first tick", tr.FirstTick); err != nil {
+				return err
+			}
+			if err := checkCount("last tick", tr.LastTick); err != nil {
+				return err
+			}
+			if tr.LastTick <= tr.FirstTick {
+				return fmt.Errorf("store: incident window [%d,%d) is empty", tr.FirstTick, tr.LastTick)
+			}
+			if tr.Count < 1 || uint64(tr.Count) >= maxCount {
+				return fmt.Errorf("store: incident count %d out of range", tr.Count)
+			}
+		}
 	case RecRelearn:
 		l := &r.Relearn
 		for _, f := range []struct {
@@ -287,6 +356,22 @@ func appendPayload(b []byte, r *Record) []byte {
 		}
 		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(t.Theta))
 		b = appendUvarint(b, uint64(t.MaxTolerance))
+	case RecIncident:
+		in := &r.Incident
+		b = appendUvarint(b, uint64(in.RoundTick))
+		b = appendUvarint(b, uint64(len(in.Transitions)))
+		for i := range in.Transitions {
+			tr := &in.Transitions[i]
+			b = append(b, tr.Event)
+			b = appendUvarint(b, tr.ID)
+			b = appendUvarint(b, tr.Cluster)
+			b = appendUvarint(b, uint64(tr.Unit))
+			b = appendUvarint(b, uint64(tr.DB))
+			b = binary.LittleEndian.AppendUint64(b, tr.KPIs)
+			b = appendUvarint(b, uint64(tr.FirstTick))
+			b = appendUvarint(b, uint64(tr.LastTick))
+			b = appendUvarint(b, uint64(tr.Count))
+		}
 	case RecRelearn:
 		l := &r.Relearn
 		b = appendUvarint(b, uint64(l.Tick))
@@ -368,6 +453,21 @@ func (r *payloadReader) varint() int64 {
 		return 0
 	}
 	r.off += n
+	return v
+}
+
+// fixed64 reads a fixed-width little-endian uint64 (bitmask fields where
+// every bit pattern is legal).
+func (r *payloadReader) fixed64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+8 > len(r.b) {
+		r.fail("store: payload truncated at offset %d", r.off)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
 	return v
 }
 
@@ -457,6 +557,47 @@ func decodePayload(b []byte) (Record, error) {
 		}
 		t.Theta = r.float()
 		t.MaxTolerance = r.count()
+	case RecIncident:
+		in := &rec.Incident
+		in.RoundTick = r.count()
+		n := r.count()
+		// 16 bytes is the smallest possible encoded transition.
+		if r.err == nil && (n > maxTransitions || n*16 > len(r.b)-r.off) {
+			r.fail("store: implausible transition count %d", n)
+		}
+		if r.err == nil && n > 0 {
+			in.Transitions = make([]IncidentTransition, n)
+			for i := range in.Transitions {
+				tr := &in.Transitions[i]
+				tr.Event = r.byteVal()
+				if r.err == nil && (tr.Event < 1 || tr.Event > 3) {
+					r.fail("store: bad transition event %d", tr.Event)
+				}
+				tr.ID = r.uvarint()
+				tr.Cluster = r.uvarint()
+				if r.err == nil && (tr.ID == 0 || tr.Cluster == 0) {
+					r.fail("store: zero incident/cluster id")
+				}
+				tr.Unit = r.count()
+				if r.err == nil && tr.Unit >= maxUnits {
+					r.fail("store: unit %d out of range", tr.Unit)
+				}
+				tr.DB = r.count()
+				if r.err == nil && tr.DB >= maxStates {
+					r.fail("store: db %d out of range", tr.DB)
+				}
+				tr.KPIs = r.fixed64()
+				tr.FirstTick = r.count()
+				tr.LastTick = r.count()
+				if r.err == nil && tr.LastTick <= tr.FirstTick {
+					r.fail("store: incident window [%d,%d) is empty", tr.FirstTick, tr.LastTick)
+				}
+				tr.Count = r.count()
+				if r.err == nil && tr.Count < 1 {
+					r.fail("store: incident count %d out of range", tr.Count)
+				}
+			}
+		}
 	case RecRelearn:
 		l := &rec.Relearn
 		l.Tick = r.count()

@@ -182,6 +182,11 @@ func (s *Store) AppendUnitVerdict(u UnitVerdictRecord) (uint64, error) {
 	return s.append(&Record{Type: RecUnitVerdict, UnitVerdict: u})
 }
 
+// AppendIncident logs one fleet round's incident-transition batch.
+func (s *Store) AppendIncident(in IncidentRecord) (uint64, error) {
+	return s.append(&Record{Type: RecIncident, Incident: in})
+}
+
 // AppendRelearn logs one relearning-supervisor lifecycle transition.
 func (s *Store) AppendRelearn(l RelearnRecord) (uint64, error) {
 	return s.append(&Record{Type: RecRelearn, Relearn: l})
