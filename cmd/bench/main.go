@@ -20,6 +20,8 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"testing"
@@ -36,6 +38,7 @@ import (
 	"dbcatcher/internal/monitor"
 	"dbcatcher/internal/relearn"
 	"dbcatcher/internal/scrape"
+	"dbcatcher/internal/server"
 	"dbcatcher/internal/store"
 	"dbcatcher/internal/thresholds"
 	"dbcatcher/internal/timeseries"
@@ -485,6 +488,69 @@ func main() {
 	fleet32 := fleetBench(32)
 	add(fleet32)
 
+	// server/status: the API status document under dashboard polling. The
+	// cached variant is the steady-state hit — a conditional GET against an
+	// unchanged generation answers 304 from the cached document without
+	// re-serializing anything — and the rebuild variant forces the full
+	// re-marshal an actual state change pays. Middleware timeout is
+	// disabled so the measurement is the handler path, not a per-request
+	// watchdog goroutine.
+	statusOnline, err := monitor.NewOnline(detect.Config{
+		Thresholds: window.DefaultThresholds(kpi.Count),
+		Flex:       window.FlexConfig{Initial: fleetWin, Max: fleetWin, ExhaustState: window.Abnormal},
+		Workers:    1,
+	}, kpi.Count, dbs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	statusSrv := server.New(statusOnline, "bench", 64)
+	statusSrv.SetRequestTimeout(0)
+	for t := 0; t < 3*fleetWin; t++ {
+		if _, err := statusSrv.Push(fleetTicks[t%fleetWin]); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+	}
+	statusHandler := statusSrv.Handler()
+	statusReq, err := http.NewRequest(http.MethodGet, "/api/status", nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	warm := httptest.NewRecorder()
+	statusHandler.ServeHTTP(warm, statusReq)
+	etag := warm.Header().Get("ETag")
+	if warm.Code != http.StatusOK || etag == "" {
+		fmt.Fprintf(os.Stderr, "bench: status warmup = %d, etag %q\n", warm.Code, etag)
+		os.Exit(1)
+	}
+	condReq := statusReq.Clone(statusReq.Context())
+	condReq.Header.Set("If-None-Match", etag)
+	sink := &discardResponseWriter{header: make(http.Header)}
+	statusCached := measure("server/status-cached", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sink.code = 0
+			statusHandler.ServeHTTP(sink, condReq)
+			if sink.code != http.StatusNotModified {
+				b.Fatalf("cached status = %d", sink.code)
+			}
+		}
+	})
+	add(statusCached)
+	add(measure("server/status-rebuild", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			statusSrv.Invalidate()
+			sink.code = 0
+			statusHandler.ServeHTTP(sink, statusReq)
+			if sink.code != http.StatusOK {
+				b.Fatalf("rebuilt status = %d", sink.code)
+			}
+		}
+	}))
+
 	// incident/ingest: the incident aggregator's steady-state dedup path —
 	// one 32-unit round where every unit reinforces its already-open
 	// incident. This is the per-round cost while a fleet-wide fault is
@@ -594,6 +660,27 @@ func diffBaseline(path string, rep Report) int {
 	}
 	fmt.Fprintf(os.Stderr, "bench-diff: no allocation regressions against %s\n", path)
 	return 0
+}
+
+// discardResponseWriter is a reusable ResponseWriter for the server
+// benchmarks: it keeps one header map and drops the body, so the
+// measurement is the handler's own cost rather than recorder setup.
+type discardResponseWriter struct {
+	header http.Header
+	code   int
+}
+
+func (w *discardResponseWriter) Header() http.Header { return w.header }
+func (w *discardResponseWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+}
+func (w *discardResponseWriter) Write(p []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return len(p), nil
 }
 
 // randomPair mirrors the repository benchmark's correlated pair generator.

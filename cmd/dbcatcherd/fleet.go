@@ -11,6 +11,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -22,6 +23,7 @@ import (
 	"dbcatcher/internal/kpi"
 	"dbcatcher/internal/mathx"
 	"dbcatcher/internal/monitor"
+	"dbcatcher/internal/replicate"
 	"dbcatcher/internal/rootcause"
 	"dbcatcher/internal/server"
 	"dbcatcher/internal/store"
@@ -138,6 +140,7 @@ func runFleet(cfg fleetConfig) {
 	// re-publishing) verdicts that are already durable.
 	var st *store.Store
 	var fp *store.FleetPersister
+	var repl *replicate.Server
 	if cfg.dataDir != "" {
 		policy, err := store.ParsePolicy(cfg.fsyncPolicy)
 		if err != nil {
@@ -173,6 +176,15 @@ func runFleet(cfg fleetConfig) {
 		m := st.Metrics()
 		log.Printf("durable fleet state: dir=%s fsync=%s recovered %d verdicts across units (torn tail %v)",
 			cfg.dataDir, policy, recovered, m.TornTail)
+
+		// Primary role: adopt the next fencing epoch and serve the fleet's
+		// multiplexed WAL to warm standbys at /replicate/.
+		if err := st.AdoptEpoch(rec.LatestEpoch()+1, 0); err != nil {
+			log.Fatalf("dbcatcherd: adopt epoch: %v", err)
+		}
+		epoch, _ := st.Epoch()
+		log.Printf("fleet primary role: serving replication at /replicate/ under epoch %d", epoch)
+		repl = replicate.NewServer(st)
 	}
 
 	// Hooks go on after Restore so replay is silent. The persist buffer
@@ -199,6 +211,19 @@ func runFleet(cfg fleetConfig) {
 	if agg != nil {
 		api.SetIncidents(agg)
 	}
+	if st != nil {
+		api.SetRole(func() interface{} {
+			e, fenced := st.Epoch()
+			return map[string]interface{}{"role": "primary", "epoch": e, "fenced": fenced}
+		})
+	}
+	var feedFault atomic.Value
+	api.SetReady(func() error {
+		if v := feedFault.Load(); v != nil {
+			return v.(error)
+		}
+		return nil
+	})
 
 	stop := make(chan struct{})
 	done := make(chan struct{})
@@ -228,6 +253,7 @@ func runFleet(cfg fleetConfig) {
 			verdicts, err := mon.Push(samples)
 			if err != nil {
 				log.Printf("fleet round: %v", err)
+				feedFault.Store(fmt.Errorf("feed stopped: fleet round: %v", err))
 				return
 			}
 			var events []incident.Event
@@ -275,9 +301,16 @@ func runFleet(cfg fleetConfig) {
 		}
 	}()
 
+	handler := api.Handler()
+	if repl != nil {
+		outer := http.NewServeMux()
+		outer.Handle("/replicate/", repl.Handler())
+		outer.Handle("/", handler)
+		handler = outer
+	}
 	httpSrv := &http.Server{
 		Addr:              cfg.addr,
-		Handler:           api.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       15 * time.Second,
 		WriteTimeout:      30 * time.Second,

@@ -1,0 +1,260 @@
+// Follower role: with -follow the daemon is a warm standby. It does not
+// simulate, scrape, or judge anything; it tails the primary's WAL over
+// HTTP into the local -data-dir, byte-identical, and serves only the
+// probe/role surface. Promotion — manual POST /api/promote, or automatic
+// after -promote-after without primary contact — adopts the next fencing
+// epoch durably and returns control to main, which falls through into the
+// normal startup path: the recovered mirror rehydrates the detector and
+// the feed resumes from the last durable tick, exactly like a restart.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"dbcatcher/internal/replicate"
+	"dbcatcher/internal/store"
+)
+
+// followerConfig carries the follower role's wiring. The zero durations
+// fall back to the tailer's defaults.
+type followerConfig struct {
+	primary      string        // primary base URL to tail
+	dir          string        // local mirror directory (= -data-dir)
+	addr         string        // probe/API listen address ("" = none)
+	poll         time.Duration // tail poll interval
+	budget       time.Duration // staleness budget behind /readyz
+	promoteAfter time.Duration // auto-promote threshold (0 = manual only)
+	seed         uint64
+}
+
+// errNeverContacted blocks auto-promotion of a follower that has never
+// reached its primary: its mirror may be empty or arbitrarily old, and
+// promoting it would resurrect a stale epoch instead of continuing one.
+var errNeverContacted = errors.New("no primary contact yet")
+
+// runFollower tails the primary until promotion or shutdown. It returns
+// true when the node was promoted (the mirror now durably owns the next
+// epoch; the caller proceeds into normal primary startup) and false on a
+// clean SIGTERM/SIGINT exit as a standby.
+func runFollower(cfg followerConfig, opts store.Options) bool {
+	tl, err := replicate.NewTailer(replicate.Config{
+		Primary:         cfg.primary,
+		Dir:             cfg.dir,
+		Poll:            cfg.poll,
+		StalenessBudget: cfg.budget,
+		Seed:            cfg.seed,
+	})
+	if err != nil {
+		log.Fatalf("dbcatcherd: follower: %v", err)
+	}
+
+	manual := make(chan struct{}, 1)
+	var promoting atomic.Bool
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeProbeJSON(w, http.StatusOK, map[string]interface{}{"status": "ok"})
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		s := tl.Status()
+		switch {
+		case s.LastContact.IsZero():
+			writeProbeJSON(w, http.StatusServiceUnavailable, map[string]interface{}{
+				"status": "unready", "reason": errNeverContacted.Error(),
+			})
+		case s.Stale:
+			writeProbeJSON(w, http.StatusServiceUnavailable, map[string]interface{}{
+				"status": "unready",
+				"reason": fmt.Sprintf("replication stale: last contact %s ago (budget %s)",
+					time.Since(s.LastContact).Round(time.Millisecond), tl.StalenessBudget()),
+			})
+		case !s.CaughtUp:
+			writeProbeJSON(w, http.StatusServiceUnavailable, map[string]interface{}{
+				"status": "unready",
+				"reason": fmt.Sprintf("replaying: applied %d of %d", s.Applied, s.PrimaryLastSeq),
+			})
+		default:
+			writeProbeJSON(w, http.StatusOK, map[string]interface{}{"status": "ready"})
+		}
+	})
+	mux.HandleFunc("/api/status", func(w http.ResponseWriter, r *http.Request) {
+		writeProbeJSON(w, http.StatusOK, map[string]interface{}{
+			"role": followerRoleBlock(tl, cfg.primary),
+		})
+	})
+	mux.HandleFunc("/api/promote", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		if !promoting.CompareAndSwap(false, true) {
+			writeProbeJSON(w, http.StatusConflict, map[string]interface{}{"error": "promotion already in progress"})
+			return
+		}
+		select {
+		case manual <- struct{}{}:
+		default:
+		}
+		writeProbeJSON(w, http.StatusAccepted, map[string]interface{}{"status": "promotion requested"})
+	})
+
+	var httpSrv *http.Server
+	if cfg.addr != "" {
+		httpSrv = &http.Server{
+			Addr:              cfg.addr,
+			Handler:           mux,
+			ReadHeaderTimeout: 5 * time.Second,
+			ReadTimeout:       15 * time.Second,
+			WriteTimeout:      30 * time.Second,
+			IdleTimeout:       2 * time.Minute,
+		}
+		go func() {
+			log.Printf("follower probes listening on %s (tailing %s)", cfg.addr, cfg.primary)
+			if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Fatalf("dbcatcherd: follower: %v", err)
+			}
+		}()
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	promoted := followUntilPromotion(ctx, tl, manual, cfg.promoteAfter)
+	cancel()
+
+	if httpSrv != nil {
+		drainCtx, cancelDrain := context.WithTimeout(context.Background(), 10*time.Second)
+		if err := httpSrv.Shutdown(drainCtx); err != nil {
+			log.Printf("follower shutdown: %v", err)
+		}
+		cancelDrain()
+	}
+	if !promoted {
+		log.Printf("follower draining: applied %d records, exiting as standby", tl.Status().Applied)
+		return false
+	}
+
+	epoch, err := promoteMirror(cfg.dir, opts, cfg.primary)
+	if err != nil {
+		log.Fatalf("dbcatcherd: promotion failed: %v", err)
+	}
+	log.Printf("promoted: mirror %s now owns epoch %d", cfg.dir, epoch)
+	return true
+}
+
+// followUntilPromotion runs the tail loop until a promotion trigger fires
+// — a manual request, or (with promoteAfter > 0) the primary silent past
+// the threshold after having been reachable at least once. Returns false
+// when ctx is cancelled first (clean standby shutdown).
+func followUntilPromotion(ctx context.Context, tl *replicate.Tailer, manual <-chan struct{}, promoteAfter time.Duration) bool {
+	runCtx, cancel := context.WithCancel(ctx)
+	runDone := make(chan struct{})
+	go func() {
+		defer close(runDone)
+		tl.Run(runCtx)
+	}()
+	stopTail := func() {
+		cancel()
+		<-runDone
+	}
+
+	check := 200 * time.Millisecond
+	if promoteAfter > 0 && promoteAfter/4 < check {
+		check = promoteAfter / 4
+	}
+	ticker := time.NewTicker(check)
+	defer ticker.Stop()
+	warned := false
+	for {
+		select {
+		case <-ctx.Done():
+			stopTail()
+			return false
+		case <-manual:
+			log.Printf("manual promotion requested")
+			stopTail()
+			return true
+		case <-ticker.C:
+			if promoteAfter <= 0 {
+				continue
+			}
+			s := tl.Status()
+			if s.LastContact.IsZero() {
+				continue // never reached the primary; see errNeverContacted
+			}
+			silent := time.Since(s.LastContact)
+			if silent <= promoteAfter {
+				warned = false
+				continue
+			}
+			if !warned {
+				log.Printf("primary silent for %s (budget %s, %d consecutive failures)",
+					silent.Round(time.Millisecond), promoteAfter, s.ConsecutiveFailures)
+				warned = true
+			}
+			log.Printf("auto-promotion: missed-heartbeat budget exhausted")
+			stopTail()
+			return true
+		}
+	}
+}
+
+// promoteMirror finalizes the takeover: adopt the next epoch durably in
+// the mirror, best-effort fence the old primary, and release the store so
+// the normal startup path can reopen it.
+func promoteMirror(dir string, opts store.Options, primary string) (uint64, error) {
+	st, _, epoch, err := replicate.Promote(dir, opts)
+	if err != nil {
+		return 0, err
+	}
+	if err := st.Close(); err != nil {
+		return 0, err
+	}
+	fenceCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := replicate.FenceOldPrimary(fenceCtx, nil, primary, epoch); err != nil {
+		// Expected: promotion usually happens because the primary is gone.
+		// A rejoining node is fenced by the epoch in the replicated log.
+		log.Printf("old primary not fenced (%v); the durable epoch fences a rejoin", err)
+	} else {
+		log.Printf("old primary fenced at epoch %d", epoch)
+	}
+	return epoch, nil
+}
+
+// followerRoleBlock is the "role" document served while following.
+func followerRoleBlock(tl *replicate.Tailer, primary string) map[string]interface{} {
+	s := tl.Status()
+	block := map[string]interface{}{
+		"role":                "follower",
+		"primary":             primary,
+		"epoch":               s.Epoch,
+		"applied":             s.Applied,
+		"primaryLastSeq":      s.PrimaryLastSeq,
+		"caughtUp":            s.CaughtUp,
+		"stale":               s.Stale,
+		"consecutiveFailures": s.ConsecutiveFailures,
+		"snapshotRestarts":    s.SnapshotRestarts,
+	}
+	if !s.LastContact.IsZero() {
+		block["lastContactMsAgo"] = time.Since(s.LastContact).Milliseconds()
+	}
+	if s.LastError != "" {
+		block["lastError"] = s.LastError
+	}
+	return block
+}
+
+// writeProbeJSON is the follower surface's tiny JSON writer (the full
+// server package's middleware stack is not in play in this role).
+func writeProbeJSON(w http.ResponseWriter, code int, v map[string]interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -51,6 +51,7 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -62,6 +63,7 @@ import (
 	"dbcatcher/internal/mathx"
 	"dbcatcher/internal/monitor"
 	"dbcatcher/internal/relearn"
+	"dbcatcher/internal/replicate"
 	"dbcatcher/internal/scrape"
 	"dbcatcher/internal/server"
 	"dbcatcher/internal/store"
@@ -92,6 +94,11 @@ func main() {
 		dataDir     = flag.String("data-dir", "", "durable state directory (empty = in-memory only)")
 		fsyncPolicy = flag.String("fsync-policy", "interval", "WAL durability: always, interval, never")
 		snapEvery   = flag.Int("snapshot-every", 1, "verdicts between state snapshots (threshold swaps always snapshot)")
+
+		follow       = flag.String("follow", "", "warm-standby mode: tail this primary's base URL into -data-dir and serve probes only; detection starts after promotion")
+		followPoll   = flag.Duration("follow-poll", 500*time.Millisecond, "follower tail poll interval")
+		promoteAfter = flag.Duration("promote-after", 0, "auto-promote after this long without primary contact (0 = manual POST /api/promote only)")
+		staleBudget  = flag.Duration("staleness-budget", 5*time.Second, "replication lag budget before a follower's /readyz reports unready")
 
 		scrapeAddr    = flag.String("scrape-addr", "", "serve the unit's per-DB KPI exporter on this address and ingest over HTTP scrape instead of the in-process collector")
 		scrapeTargets = flag.String("scrape-targets", "", "comma-separated external scrape target URLs, one per database in order (overrides self-scrape; pair with a -scrape-addr -export-only process)")
@@ -125,6 +132,36 @@ func main() {
 	p, err := parseProfile(*profile)
 	if err != nil {
 		log.Fatalf("dbcatcherd: %v", err)
+	}
+
+	// Warm-standby phase: tail the primary until promotion (manual or
+	// missed-heartbeat), then fall through into the normal startup below —
+	// the promoted mirror recovers exactly like a restarted primary and
+	// the feed resumes from the last durable tick.
+	if *follow != "" {
+		if *dataDir == "" {
+			log.Fatalf("dbcatcherd: -follow requires -data-dir (the WAL mirror lives there)")
+		}
+		if *exportOnly || *scrapeTargets != "" {
+			log.Fatalf("dbcatcherd: -follow cannot be combined with -export-only or -scrape-targets")
+		}
+		policy, err := store.ParsePolicy(*fsyncPolicy)
+		if err != nil {
+			log.Fatalf("dbcatcherd: %v", err)
+		}
+		promoted := runFollower(followerConfig{
+			primary:      strings.TrimRight(*follow, "/"),
+			dir:          *dataDir,
+			addr:         *addr,
+			poll:         *followPoll,
+			budget:       *staleBudget,
+			promoteAfter: *promoteAfter,
+			seed:         *seed,
+		}, store.Options{Fsync: policy})
+		if !promoted {
+			return // clean standby shutdown
+		}
+		log.Printf("takeover: restarting the monitoring stack from the promoted mirror")
 	}
 
 	// Fleet mode: N simulated units behind one bounded round scheduler and
@@ -324,6 +361,7 @@ func main() {
 	var fb *feedback.Store
 	var pers *store.Persister
 	var st *store.Store
+	var repl *replicate.Server
 	if *dataDir != "" {
 		policy, err := store.ParsePolicy(*fsyncPolicy)
 		if err != nil {
@@ -354,10 +392,34 @@ func main() {
 		m := st.Metrics()
 		log.Printf("durable state: dir=%s fsync=%s recovered %d records (resume tick %d, torn tail %v)",
 			*dataDir, policy, m.RecoveredRecords, resume, m.TornTail)
+
+		// Primary role: adopt the next fencing epoch durably (a promoted
+		// standby's epoch is already in the recovered log, so a takeover
+		// continues the sequence) and serve the WAL to warm standbys.
+		if err := st.AdoptEpoch(rec.LatestEpoch()+1, rec.DurableTick()); err != nil {
+			log.Fatalf("dbcatcherd: adopt epoch: %v", err)
+		}
+		epoch, _ := st.Epoch()
+		log.Printf("primary role: serving replication at /replicate/ under epoch %d", epoch)
+		repl = replicate.NewServer(st)
+		srv.SetRole(func() interface{} {
+			e, fenced := st.Epoch()
+			return map[string]interface{}{"role": "primary", "epoch": e, "fenced": fenced}
+		})
 	} else {
 		fb = feedback.NewStore(fbCap)
 	}
 	srv.SetFeedback(fb)
+
+	// Readiness: the node should receive traffic once its feed is live and
+	// has not terminally failed; a finished replay still serves history.
+	var feedFault atomic.Value
+	srv.SetReady(func() error {
+		if v := feedFault.Load(); v != nil {
+			return v.(error)
+		}
+		return nil
+	})
 
 	// Adaptive relearning (optional): a supervised background loop watches
 	// the correlation-distance drift signal and accumulated DBA corrections,
@@ -444,6 +506,7 @@ func main() {
 			if feed != nil {
 				if err := feed.Publish(tick, sample); err != nil {
 					log.Printf("publish: %v", err)
+					feedFault.Store(fmt.Errorf("feed stopped: publish: %v", err))
 					return
 				}
 			}
@@ -455,6 +518,7 @@ func main() {
 				scraped, rep, err := scraper.Round(context.Background())
 				if err != nil {
 					log.Printf("scrape round: %v", err)
+					feedFault.Store(fmt.Errorf("feed stopped: scrape round: %v", err))
 					return
 				}
 				if rep.Late || rep.Missing > 0 {
@@ -471,6 +535,7 @@ func main() {
 			v, err := srv.Push(sample)
 			if err != nil {
 				log.Printf("push: %v", err)
+				feedFault.Store(fmt.Errorf("feed stopped: push: %v", err))
 				return
 			}
 			if sup != nil {
@@ -502,9 +567,18 @@ func main() {
 
 	// Real serving timeouts: a stuck or malicious client cannot pin a
 	// connection open forever (the zero-value http.Server would let it).
+	handler := srv.Handler()
+	if repl != nil {
+		// Replication rides on the API listener: standbys fetch the WAL
+		// from /replicate/, everything else stays on the server mux.
+		outer := http.NewServeMux()
+		outer.Handle("/replicate/", repl.Handler())
+		outer.Handle("/", handler)
+		handler = outer
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       15 * time.Second,
 		WriteTimeout:      30 * time.Second,

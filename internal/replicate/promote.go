@@ -1,0 +1,55 @@
+package replicate
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+
+	"dbcatcher/internal/store"
+)
+
+// Promote finalizes a follower's takeover: it opens the mirrored data
+// directory as a real store (running standard recovery over the
+// byte-identical mirror) and durably adopts the next fencing epoch before
+// returning, so every write the new primary makes is provably newer than
+// anything the old one can still produce. The caller rehydrates monitors
+// from the returned Recovered exactly as a restart would, then resumes
+// feeding from its durable horizons.
+func Promote(dir string, opts store.Options) (*store.Store, *store.Recovered, uint64, error) {
+	st, rec, err := store.Open(dir, opts)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	epoch := rec.LatestEpoch() + 1
+	if err := st.AdoptEpoch(epoch, rec.DurableTick()); err != nil {
+		st.Close()
+		return nil, nil, 0, fmt.Errorf("replicate: adopt epoch %d: %w", epoch, err)
+	}
+	return st, rec, epoch, nil
+}
+
+// FenceOldPrimary posts the newly adopted epoch to the demoted primary's
+// fence endpoint. Best-effort by design: promotion usually happens
+// because the old primary is unreachable, and a node that rejoins later
+// is fenced by the epoch in the replicated log instead.
+func FenceOldPrimary(ctx context.Context, client *http.Client, primary string, epoch uint64) error {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	body := fmt.Sprintf(`{"epoch":%d}`, epoch)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, primary+"/replicate/fence", bytes.NewReader([]byte(body)))
+	if err != nil {
+		return fmt.Errorf("replicate: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return fmt.Errorf("replicate: fence: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("replicate: fence HTTP %d", resp.StatusCode)
+	}
+	return nil
+}

@@ -1,0 +1,416 @@
+package replicate
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"dbcatcher/internal/store"
+)
+
+// fastCfg returns a tailer config tuned for tests: tiny backoffs, a short
+// client timeout so hang faults resolve quickly.
+func fastCfg(primary, dir string) Config {
+	return Config{
+		Primary:     primary,
+		Dir:         dir,
+		Client:      &http.Client{Timeout: 300 * time.Millisecond},
+		Attempts:    5,
+		BackoffBase: time.Millisecond,
+		BackoffMax:  5 * time.Millisecond,
+		Seed:        42,
+	}
+}
+
+// primaryWithRecords opens a primary store and appends n counter records.
+func primaryWithRecords(t *testing.T, opts store.Options, n int) *store.Store {
+	t.Helper()
+	st, _, err := store.Open(t.TempDir(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	for i := 0; i < n; i++ {
+		if _, err := st.AppendCounters(store.CountersRecord{GapCells: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st
+}
+
+// stepUntilCaughtUp drives Step until the tailer reports caught-up, with a
+// bounded pass budget so a divergence fails fast instead of hanging.
+func stepUntilCaughtUp(t *testing.T, tl *Tailer, passes int) {
+	t.Helper()
+	ctx := context.Background()
+	for i := 0; i < passes; i++ {
+		err := tl.Step(ctx)
+		if st := tl.Status(); err == nil && st.CaughtUp {
+			return
+		}
+	}
+	t.Fatalf("not caught up after %d passes: %+v", passes, tl.Status())
+}
+
+// mirrorEqualsPrimary asserts every advertised segment's committed bytes
+// are byte-identical between the primary's directory and the mirror.
+func mirrorEqualsPrimary(t *testing.T, st *store.Store, mirror string) {
+	t.Helper()
+	m, err := st.ReplicationManifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seg := range m.Segments {
+		want, err := os.ReadFile(filepath.Join(st.Dir(), seg.Name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(filepath.Join(mirror, seg.Name))
+		if err != nil {
+			t.Fatalf("mirror missing %s: %v", seg.Name, err)
+		}
+		if !bytes.Equal(got, want[:seg.Size]) {
+			t.Fatalf("mirror %s diverges from primary (%d vs %d committed bytes)", seg.Name, len(got), seg.Size)
+		}
+	}
+}
+
+func TestTailerMirrorsByteIdentical(t *testing.T) {
+	// Small segments force several rotations, so the catch-up spans sealed
+	// and active segments.
+	st := primaryWithRecords(t, store.Options{Fsync: store.FsyncAlways, SegmentBytes: 128}, 30)
+	srv := httptest.NewServer(NewServer(st).Handler())
+	defer srv.Close()
+
+	var got []store.SeqRecord
+	dir := t.TempDir()
+	cfg := fastCfg(srv.URL, dir)
+	cfg.MaxChunk = 64 // multiple chunks per segment
+	cfg.OnRecord = func(r store.SeqRecord) { got = append(got, r) }
+	tl, err := NewTailer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stepUntilCaughtUp(t, tl, 3)
+
+	if len(got) != 30 {
+		t.Fatalf("delivered %d records, want 30", len(got))
+	}
+	for i, r := range got {
+		if r.Seq != uint64(i+1) || r.Counters.GapCells != i {
+			t.Fatalf("record %d = %+v", i, r)
+		}
+	}
+	mirrorEqualsPrimary(t, st, dir)
+
+	// More appends on the primary: the next pass tails just the delta.
+	for i := 30; i < 45; i++ {
+		if _, err := st.AppendCounters(store.CountersRecord{GapCells: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stepUntilCaughtUp(t, tl, 3)
+	if len(got) != 45 {
+		t.Fatalf("delivered %d records after delta, want 45", len(got))
+	}
+	mirrorEqualsPrimary(t, st, dir)
+
+	// A restarted follower resumes from its mirror: the records replay
+	// locally (no network), then tailing continues without duplicates.
+	var resumed []store.SeqRecord
+	cfg2 := fastCfg(srv.URL, dir)
+	cfg2.OnRecord = func(r store.SeqRecord) { resumed = append(resumed, r) }
+	tl2, err := NewTailer(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stepUntilCaughtUp(t, tl2, 3)
+	if !reflect.DeepEqual(resumed, got) {
+		t.Fatalf("resumed replay diverged: %d vs %d records", len(resumed), len(got))
+	}
+}
+
+// faultScript wraps the replication handler with deterministic injected
+// faults keyed by request count: 5xx bursts, a truncated segment body, and
+// a hang longer than the client timeout.
+type faultScript struct {
+	inner http.Handler
+	mu    sync.Mutex
+	n     int
+}
+
+func (f *faultScript) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	f.mu.Lock()
+	f.n++
+	n := f.n
+	f.mu.Unlock()
+	switch {
+	case n%7 == 2:
+		http.Error(w, "injected outage", http.StatusServiceUnavailable)
+		return
+	case n == 5:
+		// Hang past the client timeout: the tailer must cut the fetch
+		// loose and retry rather than wedge.
+		time.Sleep(600 * time.Millisecond)
+		http.Error(w, "late", http.StatusServiceUnavailable)
+		return
+	case n == 9 && r.URL.Path != "/replicate/manifest":
+		// Truncated body: claim a full response, deliver half. The
+		// follower's frame verification must reject the torn tail and
+		// refetch — never mirror it.
+		rec := httptest.NewRecorder()
+		f.inner.ServeHTTP(rec, r)
+		body := rec.Body.Bytes()
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.WriteHeader(rec.Code)
+		_, _ = w.Write(body[:len(body)/2])
+		return
+	}
+	f.inner.ServeHTTP(w, r)
+}
+
+func TestTailerSurvivesInjectedFaults(t *testing.T) {
+	st := primaryWithRecords(t, store.Options{Fsync: store.FsyncAlways, SegmentBytes: 128}, 40)
+	srv := httptest.NewServer(&faultScript{inner: NewServer(st).Handler()})
+	defer srv.Close()
+
+	var got []store.SeqRecord
+	dir := t.TempDir()
+	cfg := fastCfg(srv.URL, dir)
+	cfg.MaxChunk = 64
+	cfg.OnRecord = func(r store.SeqRecord) { got = append(got, r) }
+	tl, err := NewTailer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stepUntilCaughtUp(t, tl, 20)
+
+	if len(got) != 40 {
+		t.Fatalf("delivered %d records through faults, want 40", len(got))
+	}
+	for i, r := range got {
+		if r.Seq != uint64(i+1) || r.Counters.GapCells != i {
+			t.Fatalf("record %d diverged under faults: %+v", i, r)
+		}
+	}
+	mirrorEqualsPrimary(t, st, dir)
+}
+
+func TestTailerSnapshotRestartAfterCompaction(t *testing.T) {
+	dirP := t.TempDir()
+	st, _, err := store.Open(dirP, store.Options{Fsync: store.FsyncAlways, SegmentBytes: 64, RetainSegments: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.AdoptEpoch(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := st.AppendCounters(store.CountersRecord{GapCells: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := httptest.NewServer(NewServer(st).Handler())
+	defer srv.Close()
+
+	// The follower catches up fully, then goes dark while the primary
+	// writes far ahead and compacts.
+	var got []store.SeqRecord
+	resets := 0
+	dirF := t.TempDir()
+	cfg := fastCfg(srv.URL, dirF)
+	cfg.OnRecord = func(r store.SeqRecord) { got = append(got, r) }
+	cfg.OnReset = func(snap *store.SnapshotState) {
+		resets++
+		got = nil // in-memory state rebuilds from the snapshot
+	}
+	tl, err := NewTailer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stepUntilCaughtUp(t, tl, 3)
+	if len(got) == 0 {
+		t.Fatal("no records before the dark period")
+	}
+
+	for i := 10; i < 60; i++ {
+		if _, err := st.AppendCounters(store.CountersRecord{GapCells: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.WriteSnapshot(store.SnapshotState{Seq: st.LastSeq(), Counters: store.CountersRecord{GapCells: 59}}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := st.ReplicationManifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Segments[0].Base <= tl.Status().Applied+1 {
+		t.Fatalf("compaction did not pass the follower (lowest base %d, applied %d)", m.Segments[0].Base, tl.Status().Applied)
+	}
+
+	// The next pass must take the clean restart-from-snapshot path.
+	stepUntilCaughtUp(t, tl, 3)
+	status := tl.Status()
+	if resets != 1 || status.SnapshotRestarts != 1 {
+		t.Fatalf("resets = %d, status %+v; want exactly one snapshot restart", resets, status)
+	}
+	if status.Applied != 61 || !status.CaughtUp {
+		t.Fatalf("status after restart %+v", status)
+	}
+	// Everything the snapshot does not cover arrived as records, in order.
+	for i := 1; i < len(got); i++ {
+		if got[i].Seq != got[i-1].Seq+1 {
+			t.Fatalf("gap after snapshot restart at %d: %+v -> %+v", i, got[i-1], got[i])
+		}
+	}
+
+	// The mirror is a valid store: promotion recovers snapshot + suffix
+	// and the epoch carried over.
+	pst, rec, epoch, err := Promote(dirF, store.Options{Fsync: store.FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pst.Close()
+	if epoch != 2 {
+		t.Fatalf("promoted epoch = %d, want 2", epoch)
+	}
+	if rec.Snapshot == nil || rec.Snapshot.Seq != 61 {
+		t.Fatalf("promoted recovery snapshot %+v", rec.Snapshot)
+	}
+	if c := rec.LastCounters(); c.GapCells != 59 {
+		t.Fatalf("promoted counters %+v", c)
+	}
+}
+
+func TestTailerRefusesStalePrimary(t *testing.T) {
+	// Primary A at epoch 5; the follower mirrors it (including the epoch
+	// record).
+	dirA := t.TempDir()
+	stA, _, err := store.Open(dirA, store.Options{Fsync: store.FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stA.Close()
+	if err := stA.AdoptEpoch(5, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stA.AppendCounters(store.CountersRecord{GapCells: 1}); err != nil {
+		t.Fatal(err)
+	}
+	srvA := httptest.NewServer(NewServer(stA).Handler())
+	defer srvA.Close()
+
+	dirF := t.TempDir()
+	tl, err := NewTailer(fastCfg(srvA.URL, dirF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stepUntilCaughtUp(t, tl, 3)
+	if e := tl.Status().Epoch; e != 5 {
+		t.Fatalf("observed epoch %d, want 5", e)
+	}
+
+	// Primary B is a stale node at epoch 3. A restarted follower over the
+	// same mirror must refuse it: its own records prove epoch 5 exists.
+	stB := primaryWithRecords(t, store.Options{Fsync: store.FsyncAlways}, 1)
+	if err := stB.AdoptEpoch(3, 0); err != nil {
+		t.Fatal(err)
+	}
+	srvB := httptest.NewServer(NewServer(stB).Handler())
+	defer srvB.Close()
+	tl2, err := NewTailer(fastCfg(srvB.URL, dirF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = tl2.Step(context.Background())
+	if !errors.Is(err, ErrStalePrimary) {
+		t.Fatalf("tailing a stale primary: %v, want ErrStalePrimary", err)
+	}
+	if tl2.Status().ConsecutiveFailures != 1 {
+		t.Fatalf("status %+v", tl2.Status())
+	}
+}
+
+func TestFenceEndpointAndPromotion(t *testing.T) {
+	stOld, _, err := store.Open(t.TempDir(), store.Options{Fsync: store.FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stOld.Close()
+	if err := stOld.AdoptEpoch(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(stOld).Handler())
+	defer srv.Close()
+	ctx := context.Background()
+
+	// A stale fence (not above the primary's epoch) is refused: the node
+	// stays primary.
+	if err := FenceOldPrimary(ctx, nil, srv.URL, 1); err == nil {
+		t.Fatal("stale fence accepted")
+	}
+	if _, err := stOld.AppendCounters(store.CountersRecord{}); err != nil {
+		t.Fatalf("primary wrongly fenced: %v", err)
+	}
+
+	// Promotion elsewhere adopts epoch 2 and fences the old primary; its
+	// post-demotion writes must be rejected.
+	if err := FenceOldPrimary(ctx, nil, srv.URL, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stOld.AppendCounters(store.CountersRecord{}); !errors.Is(err, store.ErrFenced) {
+		t.Fatalf("post-demotion append: %v, want ErrFenced", err)
+	}
+
+	// Malformed fence documents are rejected outright.
+	for _, body := range []string{"", "{", `{"epoch":0}`, `{"epoch":-4}`} {
+		resp, err := http.Post(srv.URL+"/replicate/fence", "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("fence body %q: HTTP %d, want 400", body, resp.StatusCode)
+		}
+	}
+}
+
+func TestServerSegmentEndpointValidation(t *testing.T) {
+	st := primaryWithRecords(t, store.Options{Fsync: store.FsyncAlways}, 3)
+	srv := httptest.NewServer(NewServer(st).Handler())
+	defer srv.Close()
+	m, err := st.ReplicationManifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg := m.Segments[0].Name
+	for path, want := range map[string]int{
+		"/replicate/segment/" + seg:                        http.StatusOK,
+		"/replicate/segment/" + seg + "?offset=abc":        http.StatusBadRequest,
+		"/replicate/segment/" + seg + "?offset=-1":         http.StatusBadRequest,
+		"/replicate/segment/notasegment":                   http.StatusBadRequest,
+		"/replicate/segment/" + store.SegmentName(999):     http.StatusGone,
+		"/replicate/segment/wal-0000000000000000001.seg":   http.StatusBadRequest, // 19 digits
+		"/replicate/snapshot":                              http.StatusNotFound,   // none written yet
+		"/replicate/segment/" + seg + "?offset=1000000000": http.StatusOK, // past end: empty, not an error
+	} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Fatalf("GET %s = %d, want %d", path, resp.StatusCode, want)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+// Package replicate turns the durable store into a primary/warm-standby
+// pair: the primary serves its WAL segments and snapshot over HTTP, a
+// follower tails them into a byte-identical local mirror while replaying
+// records into its in-memory state, and a monotonic fencing epoch makes
+// promotion safe — a demoted primary's writes are rejected, and a
+// rejoining node restarts as follower.
+package replicate
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+
+	"dbcatcher/internal/store"
+)
+
+// maxFenceBody bounds the fence request document; anything larger is not a
+// fence request.
+const maxFenceBody = 1 << 10
+
+// DefaultMaxChunk caps one segment-fetch response (a frame larger than the
+// cap is still returned whole, so progress is guaranteed).
+const DefaultMaxChunk = 256 << 10
+
+// Server exposes a primary store's replication surface. Mount Handler
+// under the daemon's root mux; all routes live below /replicate/.
+type Server struct {
+	st       *store.Store
+	maxChunk int
+}
+
+// NewServer wraps an open store for replication serving.
+func NewServer(st *store.Store) *Server {
+	return &Server{st: st, maxChunk: DefaultMaxChunk}
+}
+
+// Handler routes the replication API:
+//
+//	GET  /replicate/manifest          — epoch, log extent, segment set
+//	GET  /replicate/segment/{name}    — committed frames (?offset=, ?max=)
+//	GET  /replicate/snapshot          — raw snapshot document
+//	POST /replicate/fence             — demote this node ({"epoch": N})
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/replicate/manifest", s.handleManifest)
+	mux.HandleFunc("/replicate/segment/", s.handleSegment)
+	mux.HandleFunc("/replicate/snapshot", s.handleSnapshot)
+	mux.HandleFunc("/replicate/fence", s.handleFence)
+	return mux
+}
+
+func (s *Server) handleManifest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	m, err := s.st.ReplicationManifest()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, m)
+}
+
+func (s *Server) handleSegment(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	name := strings.TrimPrefix(r.URL.Path, "/replicate/segment/")
+	if _, ok := store.SegmentBase(name); !ok {
+		http.Error(w, "bad segment name", http.StatusBadRequest)
+		return
+	}
+	off, ok := queryUint(r, "offset", 0)
+	if !ok {
+		http.Error(w, "bad offset", http.StatusBadRequest)
+		return
+	}
+	max, ok := queryUint(r, "max", uint64(s.maxChunk))
+	if !ok || max == 0 || max > uint64(s.maxChunk) {
+		max = uint64(s.maxChunk)
+	}
+	b, err := s.st.ReadSegmentAt(name, int64(off), int(max))
+	switch {
+	case errors.Is(err, store.ErrNoSegment):
+		// The clean restart-from-snapshot signal: the segment was
+		// compacted away (or never existed here).
+		http.Error(w, err.Error(), http.StatusGone)
+		return
+	case err != nil:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", fmt.Sprint(len(b)))
+	_, _ = w.Write(b)
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	blob, err := s.st.SnapshotBlob()
+	if os.IsNotExist(err) {
+		http.Error(w, "no snapshot", http.StatusNotFound)
+		return
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(blob)
+}
+
+// fenceRequest is the demotion document a newly promoted node posts to the
+// old primary.
+type fenceRequest struct {
+	Epoch uint64 `json:"epoch"`
+}
+
+func (s *Server) handleFence(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxFenceBody))
+	if err != nil {
+		http.Error(w, "bad body", http.StatusBadRequest)
+		return
+	}
+	var req fenceRequest
+	if err := json.Unmarshal(body, &req); err != nil || req.Epoch == 0 {
+		http.Error(w, "bad fence request", http.StatusBadRequest)
+		return
+	}
+	if err := s.st.Fence(req.Epoch); err != nil {
+		// A stale fence: the poster's epoch is not above ours, so we are
+		// the legitimate primary and refuse demotion.
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	writeJSON(w, map[string]any{"fenced": true, "epoch": req.Epoch})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+// queryUint parses a canonical non-negative decimal query parameter:
+// digits only, bounded length, no signs, spaces, or trailing garbage.
+func queryUint(r *http.Request, name string, def uint64) (uint64, bool) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, true
+	}
+	if len(raw) > 18 {
+		return 0, false
+	}
+	var v uint64
+	for _, c := range raw {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		v = v*10 + uint64(c-'0')
+	}
+	return v, true
+}

@@ -35,6 +35,8 @@ type Fleet struct {
 	incidents   *incident.Aggregator
 	reqTimeout  time.Duration
 	panics      atomic.Int64
+	// ha holds the role/readiness/promotion wiring (see ha.go).
+	ha haState
 }
 
 // NewFleet builds the aggregation surface. The slice is not copied; it
@@ -76,6 +78,8 @@ func (f *Fleet) Handler() http.Handler {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	mux.HandleFunc("/readyz", f.ha.handleReadyz)
+	mux.HandleFunc("/api/promote", f.ha.handlePromote)
 	mux.HandleFunc("/api/fleet/status", f.handleStatus)
 	mux.HandleFunc("/api/fleet/verdicts", f.handleVerdicts)
 	mux.HandleFunc("/api/incidents", f.handleIncidents)
@@ -222,6 +226,9 @@ func (f *Fleet) handleStatus(w http.ResponseWriter, r *http.Request) {
 	}
 	if incidents != nil {
 		body["incidents"] = incidents.Status()
+	}
+	if role := f.ha.roleBlock(); role != nil {
+		body["role"] = role
 	}
 	writeJSON(w, http.StatusOK, body)
 }

@@ -1,0 +1,125 @@
+// High-availability surface: role reporting, readiness probing, and
+// manual promotion. The server does not decide any of this itself — the
+// daemon wires closures describing its current role (primary serving a
+// live feed, or follower tailing a primary), whether it is ready to serve
+// (store open, feed live, replication caught up within the staleness
+// budget), and how to promote. The probes are what a load balancer or
+// orchestrator points at: /healthz answers "is the process alive",
+// /readyz answers "should traffic go here right now", and the answer
+// flips across a promotion without restarting the listener.
+package server
+
+import (
+	"net/http"
+	"sync"
+)
+
+// haState is the shared role/readiness/promotion wiring embedded in both
+// the per-unit Server and the Fleet surface.
+type haState struct {
+	mu      sync.Mutex
+	role    func() interface{}
+	ready   func() error
+	promote func() (uint64, error)
+}
+
+// setRole attaches a provider whose value becomes the "role" block of the
+// status document (e.g. {"role":"follower","applied":123,...}).
+func (h *haState) setRole(fn func() interface{}) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.role = fn
+}
+
+// setReady attaches the readiness check: nil error means ready. With no
+// check attached the node reports ready whenever it is alive.
+func (h *haState) setReady(fn func() error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.ready = fn
+}
+
+// setPromote attaches the manual-promotion action behind POST
+// /api/promote. It returns the newly adopted fencing epoch.
+func (h *haState) setPromote(fn func() (uint64, error)) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.promote = fn
+}
+
+// roleBlock returns the role document, or nil when no provider is wired.
+func (h *haState) roleBlock() interface{} {
+	h.mu.Lock()
+	fn := h.role
+	h.mu.Unlock()
+	if fn == nil {
+		return nil
+	}
+	return fn()
+}
+
+// handleReadyz serves the readiness probe: 200 when the node should
+// receive traffic, 503 with a reason when it should not (store closed,
+// feed dead, follower stale). Liveness stays on /healthz.
+func (h *haState) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	h.mu.Lock()
+	check := h.ready
+	h.mu.Unlock()
+	if check != nil {
+		if err := check(); err != nil {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+				"status": "unready", "reason": err.Error(),
+			})
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+// handlePromote serves POST /api/promote: manual failover. 404 when the
+// node has no promotion wired (already the primary, or HA disabled), 409
+// when the attempt is refused (e.g. the follower is too stale), 200 with
+// the adopted epoch on success.
+func (h *haState) handlePromote(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	h.mu.Lock()
+	promote := h.promote
+	h.mu.Unlock()
+	if promote == nil {
+		http.Error(w, "promotion not available on this node", http.StatusNotFound)
+		return
+	}
+	epoch, err := promote()
+	if err != nil {
+		writeJSON(w, http.StatusConflict, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"status": "promoted", "epoch": epoch,
+	})
+}
+
+// SetRole attaches the "role" block provider for /api/status.
+func (s *Server) SetRole(fn func() interface{}) { s.ha.setRole(fn); s.Invalidate() }
+
+// SetReady attaches the /readyz readiness check (nil error = ready).
+func (s *Server) SetReady(fn func() error) { s.ha.setReady(fn) }
+
+// SetPromote attaches the POST /api/promote action.
+func (s *Server) SetPromote(fn func() (uint64, error)) { s.ha.setPromote(fn) }
+
+// SetRole attaches the "role" block provider for /api/fleet/status.
+func (f *Fleet) SetRole(fn func() interface{}) { f.ha.setRole(fn) }
+
+// SetReady attaches the /readyz readiness check (nil error = ready).
+func (f *Fleet) SetReady(fn func() error) { f.ha.setReady(fn) }
+
+// SetPromote attaches the POST /api/promote action.
+func (f *Fleet) SetPromote(fn func() (uint64, error)) { f.ha.setPromote(fn) }

@@ -6,10 +6,13 @@ package server
 
 import (
 	"encoding/json"
+	"fmt"
+	"hash/fnv"
 	"log"
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -53,6 +56,15 @@ type Server struct {
 	reqTimeout time.Duration
 	// panics counts handler panics recovered by the middleware.
 	panics atomic.Int64
+	// ha holds the role/readiness/promotion wiring (see ha.go).
+	ha haState
+	// gen is the status generation: every state change bumps it, and the
+	// cached /api/status document (statusBody/statusETag, guarded by mu)
+	// is rebuilt only when the generation it was built at goes stale.
+	gen        atomic.Int64
+	statusGen  int64
+	statusBody []byte
+	statusETag string
 }
 
 // New wraps the online detector. maxHistory bounds the verdict buffer
@@ -70,6 +82,7 @@ func New(o *monitor.Online, unitName string, maxHistory int) *Server {
 // SetPersistence attaches a provider whose value is embedded as the
 // "persistence" block of /api/status (e.g. store.Persister.Status).
 func (s *Server) SetPersistence(fn func() interface{}) {
+	s.gen.Add(1)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.persistence = fn
@@ -78,6 +91,7 @@ func (s *Server) SetPersistence(fn func() interface{}) {
 // SetScrape attaches a provider whose value is embedded as the "scrape"
 // block of /api/status (e.g. scrape.Scraper.Health wrapped in a closure).
 func (s *Server) SetScrape(fn func() interface{}) {
+	s.gen.Add(1)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.scrape = fn
@@ -93,6 +107,7 @@ func (s *Server) SetRequestTimeout(d time.Duration) {
 
 // SetFeedback attaches the DBA judgment-record store behind /api/feedback.
 func (s *Server) SetFeedback(fb *feedback.Store) {
+	s.gen.Add(1)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.fb = fb
@@ -102,6 +117,7 @@ func (s *Server) SetFeedback(fb *feedback.Store) {
 // GET /api/relearn and the "relearn" block of /api/status, trigger backs
 // POST /api/relearn (manual retrain). Either may be nil.
 func (s *Server) SetRelearn(status func() interface{}, trigger func() error) {
+	s.gen.Add(1)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.relearnStatus = status
@@ -113,6 +129,7 @@ func (s *Server) SetRelearn(status func() interface{}, trigger func() error) {
 // catches up it regenerates verdicts it already judged before the restart;
 // Push recognizes them by tick and skips re-recording.
 func (s *Server) RestoreHistory(vs []monitor.Verdict) {
+	s.gen.Add(1)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for i := range vs {
@@ -160,6 +177,7 @@ func (s *Server) Push(sample [][]float64) (*monitor.Verdict, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.gen.Add(1) // every tick moves ticksIngested/health in /api/status
 	if v != nil && v.Tick > s.restoredThrough {
 		s.verdicts = append(s.verdicts, toVerdictJSON(v))
 		if len(s.verdicts) > s.maxHist {
@@ -176,6 +194,8 @@ func (s *Server) Push(sample [][]float64) (*monitor.Verdict, error) {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.ha.handleReadyz)
+	mux.HandleFunc("/api/promote", s.ha.handlePromote)
 	mux.HandleFunc("/api/status", s.handleStatus)
 	mux.HandleFunc("/api/verdicts", s.handleVerdicts)
 	mux.HandleFunc("/api/thresholds", s.handleThresholds)
@@ -193,6 +213,7 @@ func (s *Server) Handler() http.Handler {
 // in full; repeats log one line so a panicking endpoint under load cannot
 // flood the journal.
 func (s *Server) recordPanic(v interface{}, stack []byte) {
+	s.gen.Add(1) // the panic counter is part of /api/status
 	if s.panics.Add(1) == 1 {
 		log.Printf("server: recovered handler panic: %v\n%s", v, stack)
 		return
@@ -210,13 +231,44 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// Invalidate marks the cached /api/status document stale. Mutating
+// endpoints and Push call it themselves; attach it to external providers
+// (scrape rounds, relearn completion) whose state feeds a status block the
+// server cannot observe changing.
+func (s *Server) Invalidate() { s.gen.Add(1) }
+
+// handleStatus serves the cached status document with a strong ETag: the
+// body is rebuilt only when the status generation has moved since the last
+// build, and a conditional GET whose If-None-Match matches is answered
+// 304 with no body — a dashboard polling an idle unit costs two header
+// lines, not a re-serialization.
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
+	body, etag := s.statusDocument()
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("ETag", etag)
+	if im := r.Header.Get("If-None-Match"); im != "" && strings.Contains(im, etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
+}
+
+// statusDocument returns the marshaled status body and its ETag,
+// rebuilding only on a stale generation. The generation is sampled before
+// taking the lock; a bump racing the rebuild merely causes one extra
+// rebuild on the next request, never a stale document being pinned.
+func (s *Server) statusDocument() ([]byte, string) {
+	g := s.gen.Load()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.statusBody != nil && s.statusGen == g {
+		return s.statusBody, s.statusETag
+	}
 	kpis, dbs := s.online.Processor().Shape()
 	abnormal := 0
 	for _, v := range s.verdicts {
@@ -262,7 +314,20 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	if s.relearnStatus != nil {
 		body["relearn"] = s.relearnStatus()
 	}
-	writeJSON(w, http.StatusOK, body)
+	if role := s.ha.roleBlock(); role != nil {
+		body["role"] = role
+	}
+	b, err := json.Marshal(body)
+	if err != nil {
+		b = []byte(`{"error":"status marshal failed"}`)
+	}
+	b = append(b, '\n')
+	sum := fnv.New64a()
+	sum.Write(b)
+	s.statusBody = b
+	s.statusETag = fmt.Sprintf("%q", fmt.Sprintf("st-%016x", sum.Sum64()))
+	s.statusGen = g
+	return s.statusBody, s.statusETag
 }
 
 // handleRelearn exposes the relearning supervisor: GET returns its status,
@@ -288,6 +353,7 @@ func (s *Server) handleRelearn(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusConflict, map[string]string{"error": err.Error()})
 			return
 		}
+		s.gen.Add(1)
 		writeJSON(w, http.StatusAccepted, map[string]string{"status": "retrain started"})
 	default:
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
@@ -340,6 +406,7 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		fb.Add(feedback.Record{Start: body.Start, Size: body.Size, Predicted: body.Predicted, Actual: body.Actual})
+		s.gen.Add(1)
 		writeJSON(w, http.StatusOK, map[string]string{"status": "recorded"})
 	default:
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
@@ -453,6 +520,7 @@ func (s *Server) handleThresholds(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
 			return
 		}
+		s.gen.Add(1)
 		writeJSON(w, http.StatusOK, map[string]string{"status": "updated"})
 	default:
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)

@@ -46,13 +46,17 @@ func FuzzDecodeRecord(f *testing.F) {
 			{Event: 3, ID: 9, Cluster: 4, Unit: 31, DB: 0, KPIs: ^uint64(0), FirstTick: 0, LastTick: 8, Count: 3},
 		}}},
 		{Type: RecIncident, Incident: IncidentRecord{RoundTick: 0}},
+		{Type: RecEpoch, Epoch: EpochRecord{Epoch: 1, Tick: 0}},
+		{Type: RecEpoch, Epoch: EpochRecord{Epoch: 7, Tick: 311}},
 	} {
 		f.Add(appendPayload(nil, &r))
 	}
 	// Adversarial seeds: unknown type, truncated varint, huge length claim,
-	// unit index past the maxUnits bound.
+	// unit index past the maxUnits bound, zero epoch.
 	f.Add([]byte{})
 	f.Add([]byte{9, 1, 2, 3})
+	f.Add([]byte{byte(RecEpoch), 0, 0})
+	f.Add([]byte{byte(RecEpoch), 1, 1, 9}) // trailing byte
 	f.Add([]byte{byte(RecVerdict), 0xff})
 	f.Add([]byte{byte(RecThresholds), 1, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f})
 	f.Add([]byte{byte(RecUnitVerdict), 0x80, 0x80, 0x41, 1, 1, 1, 0, 0, 0, 0, 0, 0})

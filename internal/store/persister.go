@@ -131,6 +131,25 @@ func (r *Recovered) DurableTick() int {
 	return t
 }
 
+// LatestEpoch is the newest durably adopted fencing epoch recoverable from
+// disk — the snapshot's stamp or any later RecEpoch record. A promoting
+// node adopts LatestEpoch()+1.
+func (r *Recovered) LatestEpoch() uint64 {
+	if r == nil {
+		return 0
+	}
+	var e uint64
+	if r.Snapshot != nil {
+		e = r.Snapshot.Epoch
+	}
+	for _, rec := range r.Records {
+		if rec.Type == RecEpoch && rec.Epoch.Epoch > e {
+			e = rec.Epoch.Epoch
+		}
+	}
+	return e
+}
+
 // RelearnEvents returns every relearn lifecycle record still on disk, in
 // sequence order. How far back it reaches is bounded by segment retention.
 func (r *Recovered) RelearnEvents() []RelearnRecord {

@@ -39,6 +39,11 @@ const (
 	// per round makes the record the atomicity unit replay needs: a crash
 	// can lose whole rounds off the tail, never tear one.
 	RecIncident RecordType = 7
+	// RecEpoch is a primary-role fencing-epoch adoption: a node appends one
+	// when it takes (or retakes) the primary role of a replicated pair. The
+	// epoch is strictly monotonic across the pair's history, so a record
+	// stream always proves which writer was most recently legitimate.
+	RecEpoch RecordType = 8
 )
 
 // Decoder sanity bounds: a record claiming more than these is corrupt, not
@@ -137,6 +142,14 @@ type IncidentRecord struct {
 	Transitions []IncidentTransition
 }
 
+// EpochRecord is one fencing-epoch adoption. Epoch starts at 1 for the
+// first primary and increases by at least 1 per promotion; Tick is the
+// newest durable collection tick at adoption time (0 on a fresh store).
+type EpochRecord struct {
+	Epoch uint64
+	Tick  int
+}
+
 // Record is the tagged union carried by one WAL frame; Type selects which
 // member is meaningful.
 type Record struct {
@@ -148,6 +161,7 @@ type Record struct {
 	Relearn     RelearnRecord
 	UnitVerdict UnitVerdictRecord
 	Incident    IncidentRecord
+	Epoch       EpochRecord
 }
 
 // SeqRecord is a replayed record with its log sequence number (1-based,
@@ -288,6 +302,12 @@ func (r *Record) validate() error {
 				return err
 			}
 		}
+	case RecEpoch:
+		e := &r.Epoch
+		if e.Epoch == 0 || e.Epoch >= maxCount {
+			return fmt.Errorf("store: epoch %d out of range", e.Epoch)
+		}
+		return checkCount("epoch tick", e.Tick)
 	default:
 		return fmt.Errorf("store: unknown record type %d", r.Type)
 	}
@@ -382,6 +402,9 @@ func appendPayload(b []byte, r *Record) []byte {
 		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(l.Fitness))
 		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(l.Baseline))
 		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(l.FlipRate))
+	case RecEpoch:
+		b = appendUvarint(b, r.Epoch.Epoch)
+		b = appendUvarint(b, uint64(r.Epoch.Tick))
 	default:
 		panic(fmt.Sprintf("store: unknown record type %d", r.Type))
 	}
@@ -608,6 +631,13 @@ func decodePayload(b []byte) (Record, error) {
 		l.Fitness = r.float()
 		l.Baseline = r.float()
 		l.FlipRate = r.float()
+	case RecEpoch:
+		e := &rec.Epoch
+		e.Epoch = r.uvarint()
+		if r.err == nil && e.Epoch == 0 {
+			r.fail("store: zero epoch")
+		}
+		e.Tick = r.count()
 	default:
 		return rec, fmt.Errorf("store: unknown record type %d", rec.Type)
 	}

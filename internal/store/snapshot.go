@@ -25,6 +25,7 @@ const (
 type SnapshotState struct {
 	Schema   string                   `json:"schema"`
 	Seq      uint64                   `json:"seq"`
+	Epoch    uint64                   `json:"epoch,omitempty"`
 	Monitor  *monitor.PersistentState `json:"monitor,omitempty"`
 	Feedback []FeedbackRecord         `json:"feedback,omitempty"`
 	Counters CountersRecord           `json:"counters"`

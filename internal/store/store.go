@@ -1,12 +1,19 @@
 package store
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sync"
 	"time"
 )
+
+// ErrFenced rejects writes on a store that has observed a newer primary
+// epoch: some other node has been promoted, and anything this process
+// appended after that point would fork the replicated history. Fencing is
+// sticky for the process lifetime — the node must restart as a follower.
+var ErrFenced = errors.New("store: fenced by a newer primary epoch")
 
 // Policy selects when WAL appends are fsynced.
 type Policy int
@@ -117,6 +124,12 @@ type Store struct {
 	wal     *wal
 	metrics Metrics
 	closed  bool
+
+	epoch    uint64 // highest durably adopted fencing epoch (0 = never)
+	fenced   bool   // a newer epoch exists elsewhere; writes are rejected
+	fencedAt uint64 // the epoch that fenced us, for status reporting
+	snapSeq  uint64 // WAL position of the live snapshot (0 = none)
+	hasSnap  bool
 }
 
 // Open recovers whatever a previous process left in dir (creating it if
@@ -138,6 +151,17 @@ func Open(dir string, opts Options) (*Store, *Recovered, error) {
 		return nil, nil, err
 	}
 	s.wal = w
+	if snap != nil {
+		s.snapSeq, s.hasSnap = snap.Seq, true
+		s.epoch = snap.Epoch
+	}
+	// Epoch records are strictly monotonic, so the last one on disk (or
+	// the snapshot's, if compaction dropped them all) is the current epoch.
+	for _, r := range recs {
+		if r.Type == RecEpoch && r.Epoch.Epoch > s.epoch {
+			s.epoch = r.Epoch.Epoch
+		}
+	}
 	return s, &Recovered{Snapshot: snap, Records: recs}, nil
 }
 
@@ -152,6 +176,9 @@ func (s *Store) append(r *Record) (uint64, error) {
 	defer s.mu.Unlock()
 	if s.closed {
 		return 0, fmt.Errorf("store: closed")
+	}
+	if s.fenced {
+		return 0, ErrFenced
 	}
 	return s.wal.append(r)
 }
@@ -213,24 +240,84 @@ func (s *Store) Sync() error {
 
 // WriteSnapshot atomically replaces the snapshot and compacts WAL segments
 // it covers. The WAL is synced first (except under FsyncNever) so the
-// snapshot never claims coverage of records less durable than itself.
+// snapshot never claims coverage of records less durable than itself. The
+// store stamps the current fencing epoch into the snapshot so a standby
+// bootstrapping from it inherits the epoch even after the RecEpoch record
+// itself is compacted away.
 func (s *Store) WriteSnapshot(st SnapshotState) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return fmt.Errorf("store: closed")
 	}
+	if s.fenced {
+		return ErrFenced
+	}
 	if s.opts.Fsync != FsyncNever {
 		if err := s.wal.sync(); err != nil {
 			return err
 		}
 	}
+	st.Epoch = s.epoch
 	if err := writeSnapshot(s.dir, &st); err != nil {
 		return err
 	}
 	s.metrics.Snapshots++
+	s.snapSeq, s.hasSnap = st.Seq, true
 	s.wal.compact(st.Seq, s.opts.RetainSegments)
 	return nil
+}
+
+// AdoptEpoch durably takes a fencing epoch strictly above the current one:
+// the caller is about to act as primary, and the epoch record must hit
+// stable storage before any write made under it, so the append is synced
+// immediately regardless of policy. Tick is the newest durable collection
+// tick at adoption (0 on a fresh store).
+func (s *Store) AdoptEpoch(epoch uint64, tick int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: closed")
+	}
+	if s.fenced {
+		return ErrFenced
+	}
+	if epoch <= s.epoch {
+		return fmt.Errorf("store: epoch %d not above current %d", epoch, s.epoch)
+	}
+	if _, err := s.wal.append(&Record{Type: RecEpoch, Epoch: EpochRecord{Epoch: epoch, Tick: tick}}); err != nil {
+		return err
+	}
+	if err := s.wal.sync(); err != nil {
+		return err
+	}
+	s.epoch = epoch
+	return nil
+}
+
+// Fence marks the store demoted by a newer epoch adopted elsewhere. All
+// further appends and snapshots fail with ErrFenced for the rest of the
+// process lifetime. A fence at or below our own epoch is stale (we are the
+// newer primary) and rejected.
+func (s *Store) Fence(epoch uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if epoch <= s.epoch {
+		return fmt.Errorf("store: stale fence epoch %d (current %d)", epoch, s.epoch)
+	}
+	s.fenced = true
+	if epoch > s.fencedAt {
+		s.fencedAt = epoch
+	}
+	return nil
+}
+
+// Epoch returns the current durably adopted fencing epoch (0 before the
+// first adoption) and whether the store has been fenced by a newer one.
+func (s *Store) Epoch() (epoch uint64, fenced bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch, s.fenced
 }
 
 // Metrics returns a copy of the activity counters.
