@@ -51,6 +51,7 @@ type fleetConfig struct {
 	plan        workload.FaultPlan // template; seeded per unit
 	dataDir     string
 	fsyncPolicy string
+	peer        string // HA counterpart base URL ("" = no epoch guard)
 
 	incidents     bool // fleet incident aggregation stage
 	incidentProx  int  // cross-unit clustering proximity (ticks)
@@ -178,8 +179,20 @@ func runFleet(cfg fleetConfig) {
 			cfg.dataDir, policy, recovered, m.TornTail)
 
 		// Primary role: adopt the next fencing epoch and serve the fleet's
-		// multiplexed WAL to warm standbys at /replicate/.
-		if err := st.AdoptEpoch(rec.LatestEpoch()+1, 0); err != nil {
+		// multiplexed WAL to warm standbys at /replicate/. With a known
+		// peer, refuse the boot if the peer already holds an equal-or-newer
+		// epoch (a restarted, already-failed-over primary must not come
+		// back as a second primary).
+		next := rec.LatestEpoch() + 1
+		if cfg.peer != "" {
+			bootCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+			err := replicate.VerifyBootEpoch(bootCtx, nil, cfg.peer, next)
+			cancel()
+			if err != nil {
+				log.Fatalf("dbcatcherd: %v", err)
+			}
+		}
+		if err := st.AdoptEpoch(next, 0); err != nil {
 			log.Fatalf("dbcatcherd: adopt epoch: %v", err)
 		}
 		epoch, _ := st.Epoch()
@@ -219,11 +232,32 @@ func runFleet(cfg fleetConfig) {
 	}
 	var feedFault atomic.Value
 	api.SetReady(func() error {
+		if st != nil {
+			if e, fenced := st.Epoch(); fenced {
+				return fmt.Errorf("fenced: a newer primary holds an epoch above %d", e)
+			}
+		}
 		if v := feedFault.Load(); v != nil {
 			return v.(error)
 		}
 		return nil
 	})
+
+	// Epoch guard: keep the HA pair's epochs converged while serving (see
+	// the single-unit daemon for the full rationale).
+	guardCtx, guardCancel := context.WithCancel(context.Background())
+	defer guardCancel()
+	if st != nil && cfg.peer != "" {
+		g := replicate.NewGuard(st, replicate.GuardConfig{
+			Peer: cfg.peer,
+			Seed: cfg.seed + 6,
+			OnSelfFence: func(peerEpoch uint64) {
+				log.Printf("epoch guard: peer %s serves epoch %d >= ours; self-fenced — durable writes stop, /readyz flips unready", cfg.peer, peerEpoch)
+			},
+		})
+		go g.Run(guardCtx)
+		log.Printf("epoch guard: watching peer %s", cfg.peer)
+	}
 
 	stop := make(chan struct{})
 	done := make(chan struct{})

@@ -140,7 +140,7 @@ func runFollower(cfg followerConfig, opts store.Options) bool {
 		return false
 	}
 
-	epoch, err := promoteMirror(cfg.dir, opts, cfg.primary)
+	epoch, err := promoteMirror(cfg.dir, opts, cfg.primary, tl.Status().Epoch)
 	if err != nil {
 		log.Fatalf("dbcatcherd: promotion failed: %v", err)
 	}
@@ -164,11 +164,7 @@ func followUntilPromotion(ctx context.Context, tl *replicate.Tailer, manual <-ch
 		<-runDone
 	}
 
-	check := 200 * time.Millisecond
-	if promoteAfter > 0 && promoteAfter/4 < check {
-		check = promoteAfter / 4
-	}
-	ticker := time.NewTicker(check)
+	ticker := time.NewTicker(promoteCheckInterval(promoteAfter))
 	defer ticker.Stop()
 	warned := false
 	for {
@@ -205,11 +201,32 @@ func followUntilPromotion(ctx context.Context, tl *replicate.Tailer, manual <-ch
 	}
 }
 
+// promoteCheckInterval derives the auto-promotion poll cadence from the
+// configured silence budget: a quarter of the budget, clamped between
+// 1ms (time.NewTicker panics on a zero interval, which a sub-4ns
+// -promote-after would otherwise truncate to) and 200ms.
+func promoteCheckInterval(promoteAfter time.Duration) time.Duration {
+	check := 200 * time.Millisecond
+	if promoteAfter > 0 && promoteAfter/4 < check {
+		check = promoteAfter / 4
+		if check < time.Millisecond {
+			check = time.Millisecond
+		}
+	}
+	return check
+}
+
 // promoteMirror finalizes the takeover: adopt the next epoch durably in
-// the mirror, best-effort fence the old primary, and release the store so
-// the normal startup path can reopen it.
-func promoteMirror(dir string, opts store.Options, primary string) (uint64, error) {
-	st, _, epoch, err := replicate.Promote(dir, opts)
+// the mirror — strictly above both the mirrored log's epoch and the
+// highest epoch the tailer ever saw the primary advertise — best-effort
+// fence the old primary, and release the store so the normal startup
+// path can reopen it. observed is the tailer's highest observed epoch.
+// The single fence attempt here is only the fast path: the promoted
+// daemon's epoch guard keeps retrying the contact in the background, so
+// an old primary that survives a partition is still demoted on first
+// reconnect instead of running as a second primary forever.
+func promoteMirror(dir string, opts store.Options, primary string, observed uint64) (uint64, error) {
+	st, _, epoch, err := replicate.Promote(dir, opts, observed)
 	if err != nil {
 		return 0, err
 	}
@@ -220,8 +237,10 @@ func promoteMirror(dir string, opts store.Options, primary string) (uint64, erro
 	defer cancel()
 	if err := replicate.FenceOldPrimary(fenceCtx, nil, primary, epoch); err != nil {
 		// Expected: promotion usually happens because the primary is gone.
-		// A rejoining node is fenced by the epoch in the replicated log.
-		log.Printf("old primary not fenced (%v); the durable epoch fences a rejoin", err)
+		// A rejoining node is fenced by the epoch in the replicated log,
+		// and the takeover's epoch guard retries this contact until the
+		// demotion sticks.
+		log.Printf("old primary not fenced yet (%v); the epoch guard keeps retrying", err)
 	} else {
 		log.Printf("old primary fenced at epoch %d", epoch)
 	}

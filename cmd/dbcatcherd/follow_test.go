@@ -73,7 +73,7 @@ func TestFollowUntilPromotionManual(t *testing.T) {
 	}
 
 	// The takeover adopts the next epoch durably in the mirror.
-	epoch, err := promoteMirror(dir, store.Options{Fsync: store.FsyncAlways}, srv.URL)
+	epoch, err := promoteMirror(dir, store.Options{Fsync: store.FsyncAlways}, srv.URL, tl.Status().Epoch)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,6 +136,24 @@ func TestFollowUntilPromotionCleanShutdown(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("followUntilPromotion did not exit on cancel")
+	}
+}
+
+func TestPromoteCheckIntervalClamp(t *testing.T) {
+	cases := []struct {
+		after time.Duration
+		want  time.Duration
+	}{
+		{0, 200 * time.Millisecond},               // manual-only: default cadence
+		{10 * time.Second, 200 * time.Millisecond}, // long budgets stay at default
+		{100 * time.Millisecond, 25 * time.Millisecond},
+		{3, time.Millisecond}, // 3ns/4 truncates to 0: clamp, don't panic NewTicker
+		{1, time.Millisecond},
+	}
+	for _, c := range cases {
+		if got := promoteCheckInterval(c.after); got != c.want {
+			t.Fatalf("promoteCheckInterval(%v) = %v, want %v", c.after, got, c.want)
+		}
 	}
 }
 

@@ -99,6 +99,7 @@ func main() {
 		followPoll   = flag.Duration("follow-poll", 500*time.Millisecond, "follower tail poll interval")
 		promoteAfter = flag.Duration("promote-after", 0, "auto-promote after this long without primary contact (0 = manual POST /api/promote only)")
 		staleBudget  = flag.Duration("staleness-budget", 5*time.Second, "replication lag budget before a follower's /readyz reports unready")
+		peer         = flag.String("peer", "", "HA counterpart base URL: a booting primary refuses to serve if the peer already holds an equal-or-newer fencing epoch, and while serving it runs the epoch guard (re-fences a stale peer, self-fences on seeing a newer one); a promoted standby defaults this to the old primary's URL")
 
 		scrapeAddr    = flag.String("scrape-addr", "", "serve the unit's per-DB KPI exporter on this address and ingest over HTTP scrape instead of the in-process collector")
 		scrapeTargets = flag.String("scrape-targets", "", "comma-separated external scrape target URLs, one per database in order (overrides self-scrape; pair with a -scrape-addr -export-only process)")
@@ -134,6 +135,12 @@ func main() {
 		log.Fatalf("dbcatcherd: %v", err)
 	}
 
+	// peerURL is the HA counterpart this node compares fencing epochs
+	// against: the -peer flag, or — after a takeover — the primary we just
+	// tailed, so the freshly promoted node guards against its old primary
+	// coming back without any extra configuration.
+	peerURL := strings.TrimRight(*peer, "/")
+
 	// Warm-standby phase: tail the primary until promotion (manual or
 	// missed-heartbeat), then fall through into the normal startup below —
 	// the promoted mirror recovers exactly like a restarted primary and
@@ -160,6 +167,9 @@ func main() {
 		}, store.Options{Fsync: policy})
 		if !promoted {
 			return // clean standby shutdown
+		}
+		if peerURL == "" {
+			peerURL = strings.TrimRight(*follow, "/")
 		}
 		log.Printf("takeover: restarting the monitoring stack from the promoted mirror")
 	}
@@ -212,6 +222,7 @@ func main() {
 			plan:          plan,
 			dataDir:       *dataDir,
 			fsyncPolicy:   *fsyncPolicy,
+			peer:          peerURL,
 			incidents:     *incidentsOn,
 			incidentProx:  *incidentProx,
 			incidentClose: *incidentClose,
@@ -395,8 +406,21 @@ func main() {
 
 		// Primary role: adopt the next fencing epoch durably (a promoted
 		// standby's epoch is already in the recovered log, so a takeover
-		// continues the sequence) and serve the WAL to warm standbys.
-		if err := st.AdoptEpoch(rec.LatestEpoch()+1, rec.DurableTick()); err != nil {
+		// continues the sequence) and serve the WAL to warm standbys. With
+		// a known peer, first prove our log is the newest history: a
+		// crashed-and-failed-over primary restarted by its supervisor
+		// would otherwise recompute LatestEpoch()+1 from its own stale log
+		// and come back as a second primary at the new primary's epoch.
+		next := rec.LatestEpoch() + 1
+		if peerURL != "" {
+			bootCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+			err := replicate.VerifyBootEpoch(bootCtx, nil, peerURL, next)
+			cancel()
+			if err != nil {
+				log.Fatalf("dbcatcherd: %v", err)
+			}
+		}
+		if err := st.AdoptEpoch(next, rec.DurableTick()); err != nil {
 			log.Fatalf("dbcatcherd: adopt epoch: %v", err)
 		}
 		epoch, _ := st.Epoch()
@@ -411,10 +435,37 @@ func main() {
 	}
 	srv.SetFeedback(fb)
 
+	// Epoch guard: while serving as primary with a known peer, keep the
+	// pair's epochs converged — re-fence a peer stuck at an older epoch
+	// (the partition-survivor zombie) and self-fence on observing the peer
+	// at an equal-or-newer one (our history is the stale fork). This is
+	// what makes the one-shot fence at promotion time safe to miss.
+	guardCtx, guardCancel := context.WithCancel(context.Background())
+	defer guardCancel()
+	if st != nil && peerURL != "" {
+		g := replicate.NewGuard(st, replicate.GuardConfig{
+			Peer: peerURL,
+			Seed: *seed + 6,
+			OnSelfFence: func(peerEpoch uint64) {
+				log.Printf("epoch guard: peer %s serves epoch %d >= ours; self-fenced — durable writes stop, /readyz flips unready", peerURL, peerEpoch)
+				srv.Invalidate()
+			},
+		})
+		go g.Run(guardCtx)
+		log.Printf("epoch guard: watching peer %s", peerURL)
+	}
+
 	// Readiness: the node should receive traffic once its feed is live and
-	// has not terminally failed; a finished replay still serves history.
+	// has not terminally failed; a finished replay still serves history. A
+	// fenced store means this node lost an epoch race — a load balancer
+	// must stop sending it traffic even though the process is healthy.
 	var feedFault atomic.Value
 	srv.SetReady(func() error {
+		if st != nil {
+			if e, fenced := st.Epoch(); fenced {
+				return fmt.Errorf("fenced: a newer primary holds an epoch above %d", e)
+			}
+		}
 		if v := feedFault.Load(); v != nil {
 			return v.(error)
 		}

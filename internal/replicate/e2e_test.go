@@ -192,7 +192,7 @@ func TestKillPrimaryPromoteStandbyBitIdentical(t *testing.T) {
 	}
 
 	// ----- promotion: the mirror becomes the primary store -----
-	stF, recF, epoch, err := Promote(dirF, store.Options{Fsync: store.FsyncAlways})
+	stF, recF, epoch, err := Promote(dirF, store.Options{Fsync: store.FsyncAlways}, tl.Status().Epoch)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -364,7 +364,7 @@ func TestKillPrimaryPromoteFleetIncidentsBitIdentical(t *testing.T) {
 
 	// Promote and rehydrate: aggregator from the mirrored journal, unit
 	// verdict histories from the mirrored unit records.
-	stF, recF, epoch, err := Promote(dirF, store.Options{Fsync: store.FsyncAlways})
+	stF, recF, epoch, err := Promote(dirF, store.Options{Fsync: store.FsyncAlways}, tl.Status().Epoch)
 	if err != nil {
 		t.Fatal(err)
 	}

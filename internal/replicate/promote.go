@@ -3,8 +3,11 @@ package replicate
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
+	"time"
 
 	"dbcatcher/internal/store"
 )
@@ -13,15 +16,23 @@ import (
 // directory as a real store (running standard recovery over the
 // byte-identical mirror) and durably adopts the next fencing epoch before
 // returning, so every write the new primary makes is provably newer than
-// anything the old one can still produce. The caller rehydrates monitors
-// from the returned Recovered exactly as a restart would, then resumes
-// feeding from its durable horizons.
-func Promote(dir string, opts store.Options) (*store.Store, *store.Recovered, uint64, error) {
+// anything the old one can still produce. observed is the highest epoch
+// the tailer saw the primary *advertise* (manifest or replicated record);
+// the adopted epoch is one above the max of that and the mirror's own
+// durable epoch, so a takeover whose tailing lagged behind an epoch bump
+// still lands strictly above the old primary. The caller rehydrates
+// monitors from the returned Recovered exactly as a restart would, then
+// resumes feeding from its durable horizons.
+func Promote(dir string, opts store.Options, observed uint64) (*store.Store, *store.Recovered, uint64, error) {
 	st, rec, err := store.Open(dir, opts)
 	if err != nil {
 		return nil, nil, 0, err
 	}
-	epoch := rec.LatestEpoch() + 1
+	epoch := rec.LatestEpoch()
+	if observed > epoch {
+		epoch = observed
+	}
+	epoch++
 	if err := st.AdoptEpoch(epoch, rec.DurableTick()); err != nil {
 		st.Close()
 		return nil, nil, 0, fmt.Errorf("replicate: adopt epoch %d: %w", epoch, err)
@@ -32,7 +43,9 @@ func Promote(dir string, opts store.Options) (*store.Store, *store.Recovered, ui
 // FenceOldPrimary posts the newly adopted epoch to the demoted primary's
 // fence endpoint. Best-effort by design: promotion usually happens
 // because the old primary is unreachable, and a node that rejoins later
-// is fenced by the epoch in the replicated log instead.
+// is fenced by the epoch in the replicated log instead. The promoted
+// daemon's epoch Guard keeps retrying this contact in the background
+// until the demotion sticks.
 func FenceOldPrimary(ctx context.Context, client *http.Client, primary string, epoch uint64) error {
 	if client == nil {
 		client = http.DefaultClient
@@ -50,6 +63,64 @@ func FenceOldPrimary(ctx context.Context, client *http.Client, primary string, e
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("replicate: fence HTTP %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// PeerEpoch probes a peer's replication manifest and returns the epoch
+// and fenced flag it advertises. serving is false when the peer is
+// reachable but not serving replication (a follower, or replication
+// disabled) — there is no epoch to compare against. A transport failure
+// returns an error: the caller cannot distinguish "down" from
+// "partitioned" and must decide how much proof it needs.
+func PeerEpoch(ctx context.Context, client *http.Client, peer string) (epoch uint64, fenced, serving bool, err error) {
+	if client == nil {
+		client = &http.Client{Timeout: 2 * time.Second}
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/replicate/manifest", nil)
+	if err != nil {
+		return 0, false, false, fmt.Errorf("replicate: %w", err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, false, false, fmt.Errorf("replicate: peer manifest: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound || resp.StatusCode == http.StatusMethodNotAllowed {
+		return 0, false, false, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, false, false, fmt.Errorf("replicate: peer manifest HTTP %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<24))
+	if err != nil {
+		return 0, false, false, fmt.Errorf("replicate: peer manifest: %w", err)
+	}
+	var m store.Manifest
+	if err := json.Unmarshal(body, &m); err != nil {
+		return 0, false, false, fmt.Errorf("replicate: peer manifest: %w", err)
+	}
+	return m.Epoch, m.Fenced, true, nil
+}
+
+// VerifyBootEpoch guards a primary boot against resurrecting a demoted
+// node: before adopting next as its fencing epoch, the booting node
+// probes its configured peer. A peer already serving replication at an
+// epoch >= next proves this node's log is not the newest history — under
+// systemd Restart=always a crashed-and-failed-over primary would
+// otherwise recompute LatestEpoch()+1 from its own stale log and come
+// back as a second primary at the same epoch. The boot must refuse and
+// the operator restart it as a follower. An unreachable peer (nil error)
+// does not block the boot: availability would otherwise require both
+// nodes up, and the serving-time epoch Guard converges the pair if the
+// peer turns out to be alive across a partition.
+func VerifyBootEpoch(ctx context.Context, client *http.Client, peer string, next uint64) error {
+	peerEpoch, _, serving, err := PeerEpoch(ctx, client, peer)
+	if err != nil || !serving {
+		return nil
+	}
+	if peerEpoch >= next {
+		return fmt.Errorf("replicate: peer %s already serves epoch %d (our next would be %d); this node's history is stale — restart it with -follow %s", peer, peerEpoch, next, peer)
 	}
 	return nil
 }

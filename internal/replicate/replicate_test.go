@@ -276,7 +276,7 @@ func TestTailerSnapshotRestartAfterCompaction(t *testing.T) {
 
 	// The mirror is a valid store: promotion recovers snapshot + suffix
 	// and the epoch carried over.
-	pst, rec, epoch, err := Promote(dirF, store.Options{Fsync: store.FsyncAlways})
+	pst, rec, epoch, err := Promote(dirF, store.Options{Fsync: store.FsyncAlways}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

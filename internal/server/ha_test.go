@@ -181,6 +181,72 @@ func TestStatusETagCachingAndRoleBlock(t *testing.T) {
 	}
 }
 
+func TestETagMatch(t *testing.T) {
+	const etag = `"s17"`
+	cases := []struct {
+		header string
+		want   bool
+	}{
+		{"", false},
+		{`"s17"`, true},
+		{`W/"s17"`, true},         // RFC 7232 §3.2: weak comparison
+		{`"s16", "s17"`, true},    // comma-separated list
+		{` "s16" , W/"s17" `, true},
+		{"*", true},               // any current representation
+		{`"s1"`, false},           // must not substring-match "s17"
+		{`"s170"`, false},
+		{`"s16", "s18"`, false},
+	}
+	for _, c := range cases {
+		if got := etagMatch(c.header, etag); got != c.want {
+			t.Fatalf("etagMatch(%q, %q) = %v, want %v", c.header, etag, got, c.want)
+		}
+	}
+}
+
+func TestStatusIfNoneMatchForms(t *testing.T) {
+	s, ts := newTestServer(t)
+	_ = s
+	fetch := func(inm string) int {
+		req, err := http.NewRequest(http.MethodGet, ts.URL+"/api/status", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inm != "" {
+			req.Header.Set("If-None-Match", inm)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	first, err := http.Get(ts.URL + "/api/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, first.Body)
+	first.Body.Close()
+	etag := first.Header.Get("ETag")
+	if etag == "" {
+		t.Fatal("no ETag on /api/status")
+	}
+	if code := fetch("*"); code != http.StatusNotModified {
+		t.Fatalf("If-None-Match: * = %d, want 304", code)
+	}
+	if code := fetch("W/" + etag); code != http.StatusNotModified {
+		t.Fatalf("weak tag = %d, want 304", code)
+	}
+	if code := fetch(`"bogus", ` + etag); code != http.StatusNotModified {
+		t.Fatalf("tag in list = %d, want 304", code)
+	}
+	if code := fetch(`"bogus"`); code != http.StatusOK {
+		t.Fatalf("non-matching tag = %d, want 200", code)
+	}
+}
+
 func TestFleetReadyzAndRole(t *testing.T) {
 	f, ts := newTestFleet(t)
 	var body map[string]string

@@ -213,8 +213,12 @@ func (s *Server) Handler() http.Handler {
 // in full; repeats log one line so a panicking endpoint under load cannot
 // flood the journal.
 func (s *Server) recordPanic(v interface{}, stack []byte) {
+	// Mutate-then-bump, like every other invalidation site: a
+	// statusDocument sampling the new generation must already see the new
+	// panic count, or it pins a stale document under a fresh generation.
+	n := s.panics.Add(1)
 	s.gen.Add(1) // the panic counter is part of /api/status
-	if s.panics.Add(1) == 1 {
+	if n == 1 {
 		log.Printf("server: recovered handler panic: %v\n%s", v, stack)
 		return
 	}
@@ -250,12 +254,34 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	body, etag := s.statusDocument()
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("ETag", etag)
-	if im := r.Header.Get("If-None-Match"); im != "" && strings.Contains(im, etag) {
+	if etagMatch(r.Header.Get("If-None-Match"), etag) {
 		w.WriteHeader(http.StatusNotModified)
 		return
 	}
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(body)
+}
+
+// etagMatch evaluates an If-None-Match header against the current entity
+// tag per RFC 7232 §3.2: a comma-separated list of entity-tags compared
+// with the weak comparison (a W/ prefix is ignored), or the special form
+// "*" which matches any current representation. Substring matching would
+// be both too loose (a tag embedded in a longer token) and too strict
+// ("*" never matching).
+func etagMatch(header, etag string) bool {
+	if header == "" {
+		return false
+	}
+	for _, tok := range strings.Split(header, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "*" {
+			return true
+		}
+		if strings.TrimPrefix(tok, "W/") == strings.TrimPrefix(etag, "W/") {
+			return true
+		}
+	}
+	return false
 }
 
 // statusDocument returns the marshaled status body and its ETag,

@@ -112,6 +112,34 @@ func TestFenceRejectsWrites(t *testing.T) {
 	}
 }
 
+func TestSelfFenceAcceptsEqualEpoch(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openClean(t, dir, Options{Fsync: FsyncAlways})
+	defer st.Close()
+	if err := st.AdoptEpoch(2, 0); err != nil {
+		t.Fatal(err)
+	}
+	// A peer strictly below us is a stale observation: we are the newer
+	// primary, and must not demote ourselves.
+	if err := st.SelfFence(1); err == nil {
+		t.Fatal("self-fence on a lower peer epoch must be rejected")
+	}
+	if _, err := st.AppendCounters(CountersRecord{}); err != nil {
+		t.Fatalf("store wrongly self-fenced: %v", err)
+	}
+	// Equal epoch is a fork (two primaries adopted the same epoch): unlike
+	// the external Fence, first-hand SelfFence accepts it and stops writes.
+	if err := st.SelfFence(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.AppendCounters(CountersRecord{}); !errors.Is(err, ErrFenced) {
+		t.Fatalf("append after self-fence: %v, want ErrFenced", err)
+	}
+	if e, fenced := st.Epoch(); e != 2 || !fenced {
+		t.Fatalf("Epoch() = %d, %v; want 2, fenced", e, fenced)
+	}
+}
+
 func TestReplicationManifestAndReadSegmentAt(t *testing.T) {
 	dir := t.TempDir()
 	st, _ := openClean(t, dir, Options{Fsync: FsyncAlways, SegmentBytes: 128})

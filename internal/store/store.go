@@ -312,6 +312,26 @@ func (s *Store) Fence(epoch uint64) error {
 	return nil
 }
 
+// SelfFence demotes the store on first-hand evidence of a peer serving at
+// an epoch equal to or above our own. Unlike Fence — where an external
+// poster must hold a strictly newer epoch to demote us — observing a peer
+// primary at our *own* epoch already proves a fork (a partitioned double
+// boot adopted the same epoch), and the only safe response is to stop
+// writing on this side too. An epoch strictly below ours is a stale
+// observation and rejected: we are the newer primary.
+func (s *Store) SelfFence(epoch uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if epoch < s.epoch {
+		return fmt.Errorf("store: stale self-fence epoch %d (current %d)", epoch, s.epoch)
+	}
+	s.fenced = true
+	if epoch > s.fencedAt {
+		s.fencedAt = epoch
+	}
+	return nil
+}
+
 // Epoch returns the current durably adopted fencing epoch (0 before the
 // first adoption) and whether the store has been fenced by a newer one.
 func (s *Store) Epoch() (epoch uint64, fenced bool) {
