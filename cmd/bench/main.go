@@ -20,6 +20,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -87,6 +88,10 @@ type Report struct {
 	// ScrapeAssembleAllocs is the scrape round assembler's allocs/op —
 	// its zero-alloc contract, asserted by TestAssemblerShapesAndZeroAlloc.
 	ScrapeAssembleAllocs int64 `json:"scrape_assemble_allocs"`
+	// PromParseAllocs is the Prometheus text-exposition parser's allocs/op
+	// decoding a healthy body into a warm payload — its zero-alloc
+	// contract, the real-exporter counterpart of ScrapeAssembleAllocs.
+	PromParseAllocs int64 `json:"prom_parse_allocs"`
 	// IncidentIngestAllocs is the incident aggregator's steady-state
 	// allocs/op for a 32-unit reinforcing round — its zero-alloc contract,
 	// asserted by TestSteadyStateDedupIsAllocationFree.
@@ -400,6 +405,39 @@ func main() {
 	})
 	add(scrapeAssemble)
 
+	// The wire parsers: one healthy exporter body (with a NaN gap cell, so
+	// the gap literal is part of the warm loop) decoded into a reused
+	// payload, per format. The prom path is the per-target per-round decode
+	// cost in real-exporter mode and must match the JSON path's zero-alloc
+	// contract — neither parser may allocate once the payload's vector has
+	// its capacity.
+	wire := make([]float64, kpi.Count)
+	for k := range wire {
+		wire[k] = u.Series.Data[k][0].At(0)
+	}
+	wire[kpi.Count/2] = math.NaN()
+	var parsePayload scrape.Payload
+	jsonBody := scrape.AppendBody(nil, &scrape.Payload{Tick: 1, DB: 0, Values: wire}, scrape.FormatJSON)
+	parseJSON := measure("scrape/parse-json", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := scrape.ParseBody(jsonBody, &parsePayload, scrape.FormatJSON); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	add(parseJSON)
+	promBody := scrape.AppendBody(nil, &scrape.Payload{Tick: 1, DB: 0, Values: wire}, scrape.FormatProm)
+	parseProm := measure("scrape/parse-prom", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := scrape.ParseBody(promBody, &parsePayload, scrape.FormatProm); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	add(parseProm)
+
 	// One genome evaluation of the relearn supervisor's holdout fitness:
 	// replay the detector over materialized judgment-record samples whose
 	// providers cache the correlation matrices, so this is the steady-state
@@ -586,6 +624,7 @@ func main() {
 	rep.BuildAllocReduction = float64(serialAlloc.AllocsPerOp) / float64(serialScratch.AllocsPerOp)
 	rep.KCDAllocsScratch = kcdScratch.AllocsPerOp
 	rep.ScrapeAssembleAllocs = scrapeAssemble.AllocsPerOp
+	rep.PromParseAllocs = parseProm.AllocsPerOp
 	rep.IncidentIngestAllocs = incidentIngest.AllocsPerOp
 	rep.FleetRoundScale32 = fleet32.NsPerOp / (32 * fleet1.NsPerOp)
 

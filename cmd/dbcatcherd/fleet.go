@@ -25,6 +25,7 @@ import (
 	"dbcatcher/internal/monitor"
 	"dbcatcher/internal/replicate"
 	"dbcatcher/internal/rootcause"
+	"dbcatcher/internal/scrape"
 	"dbcatcher/internal/server"
 	"dbcatcher/internal/store"
 	"dbcatcher/internal/window"
@@ -57,9 +58,18 @@ type fleetConfig struct {
 	incidentProx  int  // cross-unit clustering proximity (ticks)
 	incidentClose int  // quiet ticks before an incident closes
 	incidentHist  int  // closed clusters retained for paging
+
+	// scrapeTargets switches the fleet's feed from the in-process simulation
+	// to real HTTP scrape rounds: one target list per unit, each scraped by
+	// that unit's own scraper (own breakers, retry budgets, stale markdown)
+	// so a broken exporter degrades only its unit. scrape is the shared
+	// tuning/format template; Targets and JitterSeed are filled per unit.
+	scrapeTargets [][]string
+	scrape        scrape.Config
 }
 
 func runFleet(cfg fleetConfig) {
+	scrapeMode := cfg.scrapeTargets != nil
 	log.Printf("fleet mode: %d units x %d databases, profile %v, %d ticks, scheduler pool %d",
 		cfg.units, cfg.dbs, cfg.profile, cfg.horizon, fleet.Resolve(cfg.fleetConc))
 
@@ -79,29 +89,34 @@ func runFleet(cfg fleetConfig) {
 	for i := 0; i < cfg.units; i++ {
 		name := fmt.Sprintf("unit-%03d", i)
 		seed := cfg.seed + uint64(i)*1009
-		u, err := cluster.Simulate(cluster.Config{
-			Name: name, Databases: cfg.dbs, Ticks: cfg.horizon,
-			Profile: cfg.profile, Seed: seed,
-		})
-		if err != nil {
-			log.Fatalf("dbcatcherd: unit %d: %v", i, err)
-		}
-		if cfg.anomalies > 0 {
-			events := anomaly.GenerateSchedule(anomaly.ScheduleConfig{
-				Ticks: cfg.horizon, Databases: cfg.dbs, TargetRatio: cfg.anomalies,
-			}, mathx.NewRNG(seed+1))
-			labels, err := anomaly.Inject(u, events, mathx.NewRNG(seed+2))
+		// In scrape mode the units' history lives behind their exporters;
+		// there is nothing to simulate or inject here.
+		if !scrapeMode {
+			u, err := cluster.Simulate(cluster.Config{
+				Name: name, Databases: cfg.dbs, Ticks: cfg.horizon,
+				Profile: cfg.profile, Seed: seed,
+			})
 			if err != nil {
 				log.Fatalf("dbcatcherd: unit %d: %v", i, err)
 			}
-			totalAnomalies += len(labels.Events)
+			if cfg.anomalies > 0 {
+				events := anomaly.GenerateSchedule(anomaly.ScheduleConfig{
+					Ticks: cfg.horizon, Databases: cfg.dbs, TargetRatio: cfg.anomalies,
+				}, mathx.NewRNG(seed+1))
+				labels, err := anomaly.Inject(u, events, mathx.NewRNG(seed+2))
+				if err != nil {
+					log.Fatalf("dbcatcherd: unit %d: %v", i, err)
+				}
+				totalAnomalies += len(labels.Events)
+			}
+			plan := cfg.plan
+			plan.Seed = seed + 3
+			collectors[i], err = cluster.NewCollector(u.Series, plan)
+			if err != nil {
+				log.Fatalf("dbcatcherd: unit %d: %v", i, err)
+			}
 		}
-		plan := cfg.plan
-		plan.Seed = seed + 3
-		collectors[i], err = cluster.NewCollector(u.Series, plan)
-		if err != nil {
-			log.Fatalf("dbcatcherd: unit %d: %v", i, err)
-		}
+		var err error
 		onlines[i], err = monitor.NewOnline(detect.Config{
 			Thresholds: window.DefaultThresholds(kpi.Count),
 			Workers:    workers,
@@ -217,7 +232,37 @@ func runFleet(cfg fleetConfig) {
 	if err != nil {
 		log.Fatalf("dbcatcherd: %v", err)
 	}
+	var scrapers []*scrape.Scraper
+	if scrapeMode {
+		scrapers = make([]*scrape.Scraper, cfg.units)
+		for i := range scrapers {
+			sc := cfg.scrape
+			sc.Targets = cfg.scrapeTargets[i]
+			sc.JitterSeed = cfg.seed + uint64(i)*1009 + 4
+			scrapers[i], err = scrape.New(sc)
+			if err != nil {
+				log.Fatalf("dbcatcherd: unit %d scraper: %v", i, err)
+			}
+		}
+		if err := mon.SetScrapers(scrapers); err != nil {
+			log.Fatalf("dbcatcherd: %v", err)
+		}
+		log.Printf("fleet scrape ingestion: %d units x %d targets, format %v, round deadline %v",
+			cfg.units, cfg.dbs, cfg.scrape.Format, cfg.scrape.RoundTimeout)
+	}
 	api := server.NewFleet(servers)
+	if repl != nil {
+		api.SetReplication(repl.StatusBlock)
+	}
+	if scrapers != nil {
+		api.SetScrape(func() interface{} {
+			healths := make([]interface{}, len(scrapers))
+			for i, s := range scrapers {
+				healths[i] = s.Health()
+			}
+			return healths
+		})
+	}
 	if fp != nil {
 		api.SetPersistence(fp.Status)
 	}
@@ -269,22 +314,48 @@ func runFleet(cfg fleetConfig) {
 		defer close(done)
 		interval := time.Duration(float64(5*time.Second) / cfg.speedup)
 		samples := make([][][]float64, cfg.units)
-		verdictCount, abnormalCount := 0, 0
+		verdictCount, abnormalCount, degradedRounds := 0, 0, 0
 		for tick := 0; tick < cfg.horizon; tick++ {
 			select {
 			case <-stop:
 				return
 			default:
 			}
-			for i, c := range collectors {
-				sample, ok := c.Next()
-				if !ok {
-					log.Printf("unit %d collector exhausted at tick %d", i, tick)
+			var verdicts []*monitor.Verdict
+			var err error
+			if scrapeMode {
+				// One batched round over the wire; exporter misbehaviour
+				// degrades individual units' verdicts via their scrapers'
+				// NaN gaps, never the round itself.
+				var reports []scrape.RoundReport
+				verdicts, reports, err = mon.ScrapeRound(context.Background())
+				if err != nil {
+					log.Printf("fleet scrape round: %v", err)
+					feedFault.Store(fmt.Errorf("feed stopped: fleet scrape round: %v", err))
 					return
 				}
-				samples[i] = sample
+				for unit, rep := range reports {
+					if rep.Late || rep.Missing > 0 {
+						degradedRounds++
+						// Sampled like the single-unit daemon: a dead exporter
+						// must not flood the journal one line per unit-tick.
+						if degradedRounds <= 10 || degradedRounds%100 == 0 {
+							log.Printf("fleet scrape round %d unit %d: %d/%d targets arrived (breaker-skipped %d, late %v)",
+								rep.Round, unit, rep.Arrived, cfg.dbs, rep.Skipped, rep.Late)
+						}
+					}
+				}
+			} else {
+				for i, c := range collectors {
+					sample, ok := c.Next()
+					if !ok {
+						log.Printf("unit %d collector exhausted at tick %d", i, tick)
+						return
+					}
+					samples[i] = sample
+				}
+				verdicts, err = mon.Push(samples)
 			}
-			verdicts, err := mon.Push(samples)
 			if err != nil {
 				log.Printf("fleet round: %v", err)
 				feedFault.Store(fmt.Errorf("feed stopped: fleet round: %v", err))

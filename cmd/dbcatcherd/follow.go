@@ -258,6 +258,8 @@ func followerRoleBlock(tl *replicate.Tailer, primary string) map[string]interfac
 		"primaryLastSeq":      s.PrimaryLastSeq,
 		"caughtUp":            s.CaughtUp,
 		"stale":               s.Stale,
+		"bytesBehind":         s.BytesBehind,
+		"segmentsBehind":      s.SegmentsBehind,
 		"consecutiveFailures": s.ConsecutiveFailures,
 		"snapshotRestarts":    s.SnapshotRestarts,
 	}

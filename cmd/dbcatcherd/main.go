@@ -67,6 +67,8 @@ import (
 	"dbcatcher/internal/scrape"
 	"dbcatcher/internal/server"
 	"dbcatcher/internal/store"
+	"dbcatcher/internal/timeseries"
+	"dbcatcher/internal/tracefile"
 	"dbcatcher/internal/window"
 	"dbcatcher/internal/workload"
 )
@@ -112,11 +114,16 @@ func main() {
 		scrapeBrkOpen  = flag.Int("scrape-breaker-open", 5, "rounds an open breaker skips before its half-open probe")
 		scrapeStale    = flag.Int("scrape-stale-rounds", 3, "rounds a target may re-serve the same tick before it is marked down")
 		scrapeConc     = flag.Int("scrape-concurrency", 0, "scrape fan-out bound (0 = all targets, capped at 16)")
-		scrapeFaults   = flag.String("scrape-fault", "", "exporter fault script: db:mode[:count],... (modes: hang, 5xx, truncate, garbage, drop, flap, stale)")
+		scrapeFaults   = flag.String("scrape-fault", "", "exporter fault script: db:mode[:count],... (modes: hang, 5xx, truncate, garbage, drop, flap, stale, format-flip)")
+		scrapeFormat   = flag.String("scrape-format", "json", "scrape wire format negotiated with every target: json (bespoke payload) or prom (Prometheus text exposition)")
 
-		units     = flag.Int("units", 1, "database units to monitor; >1 runs the sharded fleet scheduler with the aggregated /api/fleet endpoints")
-		fleetConc = flag.Int("fleet-concurrency", 0, "fleet round scheduler worker pool (0 = GOMAXPROCS); per-unit verdicts are identical at any setting")
-		fleetHist = flag.Int("fleet-history", 128, "verdict history buffer per fleet unit")
+		trace    = flag.String("trace", "", "replay a recorded KPI trace (CSV, see internal/tracefile) through the full pipeline instead of simulating; the trace fixes -dbs and -horizon")
+		traceRec = flag.String("trace-record", "", "write the simulated (and anomaly-injected) KPI stream to this CSV trace on startup; replay it later with -trace")
+
+		units           = flag.Int("units", 1, "database units to monitor; >1 runs the sharded fleet scheduler with the aggregated /api/fleet endpoints")
+		fleetScrapeSpec = flag.String("fleet-scrape-targets", "", "fleet scrape ingestion: unit target groups separated by ';', each group one exporter base URL (expanded to /db/N/kpis) or a comma-separated list of exactly -dbs URLs; replaces the simulated feed (requires -units > 1)")
+		fleetConc       = flag.Int("fleet-concurrency", 0, "fleet round scheduler worker pool (0 = GOMAXPROCS); per-unit verdicts are identical at any setting")
+		fleetHist       = flag.Int("fleet-history", 128, "verdict history buffer per fleet unit")
 
 		incidentsOn   = flag.Bool("incidents", false, "fleet incident aggregation: dedup repeated verdicts into incidents, cluster co-occurring anomalies across units, serve /api/incidents (requires -units > 1)")
 		incidentProx  = flag.Int("incident-proximity", 32, "ticks within which anomalies on different units join one fleet incident cluster")
@@ -131,6 +138,10 @@ func main() {
 	flag.Parse()
 
 	p, err := parseProfile(*profile)
+	if err != nil {
+		log.Fatalf("dbcatcherd: %v", err)
+	}
+	format, err := scrape.ParseFormat(*scrapeFormat)
 	if err != nil {
 		log.Fatalf("dbcatcherd: %v", err)
 	}
@@ -191,6 +202,8 @@ func main() {
 			"-export-only":    *exportOnly,
 			"-relearn":        *relearnOn,
 			"-failover-tick":  *foTick > 0,
+			"-trace":          *trace != "",
+			"-trace-record":   *traceRec != "",
 		} {
 			if set {
 				log.Fatalf("dbcatcherd: %s is single-unit only; it cannot be combined with -units > 1", flagName)
@@ -205,6 +218,19 @@ func main() {
 		plan.Silences, err = parseSilences(*faultSilences)
 		if err != nil {
 			log.Fatalf("dbcatcherd: %v", err)
+		}
+		var fleetTargets [][]string
+		if *fleetScrapeSpec != "" {
+			// Collector faults shape the simulated feed; in fleet scrape mode
+			// the data arrives over the wire, so a fault plan would silently
+			// do nothing. Script exporter faults on the exporting daemons.
+			if !plan.IsZero() {
+				log.Fatalf("dbcatcherd: collector fault flags cannot be combined with -fleet-scrape-targets (inject faults on the exporters instead)")
+			}
+			fleetTargets, err = parseFleetTargets(*fleetScrapeSpec, *units, *dbs)
+			if err != nil {
+				log.Fatalf("dbcatcherd: %v", err)
+			}
 		}
 		runFleet(fleetConfig{
 			addr:          *addr,
@@ -227,11 +253,26 @@ func main() {
 			incidentProx:  *incidentProx,
 			incidentClose: *incidentClose,
 			incidentHist:  *incidentHist,
+			scrapeTargets: fleetTargets,
+			scrape: scrape.Config{
+				KPIs:              kpi.Count,
+				Format:            format,
+				RoundTimeout:      *scrapeRoundTO,
+				TryTimeout:        *scrapeTryTO,
+				MaxAttempts:       *scrapeAttempts,
+				BreakerFailures:   *scrapeBrkFails,
+				BreakerOpenRounds: *scrapeBrkOpen,
+				StaleRounds:       *scrapeStale,
+				Concurrency:       *scrapeConc,
+			},
 		})
 		return
 	}
 	if *units < 1 {
 		log.Fatalf("dbcatcherd: -units must be at least 1")
+	}
+	if *fleetScrapeSpec != "" {
+		log.Fatalf("dbcatcherd: -fleet-scrape-targets requires -units > 1 (use -scrape-targets for one unit)")
 	}
 	// Incident aggregation clusters anomalies *across* units; with one unit
 	// there is nothing to cluster, so reject it like fleet mode rejects
@@ -240,29 +281,58 @@ func main() {
 		log.Fatalf("dbcatcherd: -incidents requires -units > 1 (fleet mode)")
 	}
 
-	log.Printf("simulating unit: %d databases, profile %v, %d ticks", *dbs, p, *horizon)
-	simCfg := cluster.Config{
-		Name: "live", Databases: *dbs, Ticks: *horizon, Profile: p, Seed: *seed,
-	}
-	if *foTick > 0 {
-		simCfg.Failover = &cluster.Failover{Tick: *foTick, NewPrimary: *foTarget}
-		log.Printf("failover scheduled: db%d promoted at tick %d", *foTarget, *foTick)
-	}
-	u, err := cluster.Simulate(simCfg)
-	if err != nil {
-		log.Fatalf("dbcatcherd: %v", err)
-	}
+	// Data source: a recorded trace replayed through the full pipeline, or
+	// the live simulation (optionally recorded for later replay). Either way
+	// the collector, fault plan, scrape layer, and judge downstream are
+	// identical — a trace is just a unit whose history happened elsewhere.
+	var series *timeseries.UnitSeries
 	var labels *anomaly.Labels
-	if *anomalies > 0 {
-		events := anomaly.GenerateSchedule(anomaly.ScheduleConfig{
-			Ticks: *horizon, Databases: *dbs, TargetRatio: *anomalies,
-		}, mathx.NewRNG(*seed+1))
-		labels, err = anomaly.Inject(u, events, mathx.NewRNG(*seed+2))
+	if *trace != "" {
+		if *traceRec != "" {
+			log.Fatalf("dbcatcherd: -trace-record cannot be combined with -trace (recording a replay is a file copy)")
+		}
+		if *foTick > 0 {
+			log.Fatalf("dbcatcherd: -failover-tick rewrites the simulation; it cannot be combined with -trace")
+		}
+		series, err = loadTrace(*trace)
 		if err != nil {
 			log.Fatalf("dbcatcherd: %v", err)
 		}
-		log.Printf("injected %d anomaly episodes (%.1f%% of ticks)",
-			len(labels.Events), 100*labels.Ratio())
+		*dbs = series.Databases
+		*horizon = series.Len()
+		log.Printf("replaying trace %s: %d databases, %d ticks (anomaly injection off: the trace is the ground truth)",
+			*trace, *dbs, *horizon)
+	} else {
+		log.Printf("simulating unit: %d databases, profile %v, %d ticks", *dbs, p, *horizon)
+		simCfg := cluster.Config{
+			Name: "live", Databases: *dbs, Ticks: *horizon, Profile: p, Seed: *seed,
+		}
+		if *foTick > 0 {
+			simCfg.Failover = &cluster.Failover{Tick: *foTick, NewPrimary: *foTarget}
+			log.Printf("failover scheduled: db%d promoted at tick %d", *foTarget, *foTick)
+		}
+		u, err := cluster.Simulate(simCfg)
+		if err != nil {
+			log.Fatalf("dbcatcherd: %v", err)
+		}
+		if *anomalies > 0 {
+			events := anomaly.GenerateSchedule(anomaly.ScheduleConfig{
+				Ticks: *horizon, Databases: *dbs, TargetRatio: *anomalies,
+			}, mathx.NewRNG(*seed+1))
+			labels, err = anomaly.Inject(u, events, mathx.NewRNG(*seed+2))
+			if err != nil {
+				log.Fatalf("dbcatcherd: %v", err)
+			}
+			log.Printf("injected %d anomaly episodes (%.1f%% of ticks)",
+				len(labels.Events), 100*labels.Ratio())
+		}
+		series = u.Series
+		if *traceRec != "" {
+			if err := tracefile.WriteFile(*traceRec, series); err != nil {
+				log.Fatalf("dbcatcherd: recording trace: %v", err)
+			}
+			log.Printf("recorded the injected stream to %s (replay with -trace)", *traceRec)
+		}
 	}
 
 	plan := workload.FaultPlan{
@@ -276,7 +346,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("dbcatcherd: %v", err)
 	}
-	collector, err := cluster.NewCollector(u.Series, plan)
+	collector, err := cluster.NewCollector(series, plan)
 	if err != nil {
 		log.Fatalf("dbcatcherd: %v", err)
 	}
@@ -346,6 +416,7 @@ func main() {
 		scraper, err = scrape.New(scrape.Config{
 			Targets:           targets,
 			KPIs:              kpi.Count,
+			Format:            format,
 			RoundTimeout:      *scrapeRoundTO,
 			TryTimeout:        *scrapeTryTO,
 			MaxAttempts:       *scrapeAttempts,
@@ -426,6 +497,7 @@ func main() {
 		epoch, _ := st.Epoch()
 		log.Printf("primary role: serving replication at /replicate/ under epoch %d", epoch)
 		repl = replicate.NewServer(st)
+		srv.SetReplication(repl.StatusBlock)
 		srv.SetRole(func() interface{} {
 			e, fenced := st.Epoch()
 			return map[string]interface{}{"role": "primary", "epoch": e, "fenced": fenced}
@@ -493,7 +565,7 @@ func main() {
 			CooldownTicks: cooldownTicks,
 			ShadowTicks:   *relearnShadow,
 			Seed:          *seed + 5,
-		}, online, fb, relearn.SeriesSource{U: u.Series})
+		}, online, fb, relearn.SeriesSource{U: series})
 		if pers != nil {
 			sup.SetRecorder(pers)
 		}
@@ -683,6 +755,53 @@ func main() {
 		log.Fatalf("dbcatcherd: %v", err)
 	}
 	<-shutdownDone
+}
+
+// loadTrace reads a -trace file and checks it fits the detector: the full
+// 14-KPI vector and at least the two databases correlation needs.
+func loadTrace(path string) (*timeseries.UnitSeries, error) {
+	series, err := tracefile.ReadFile(path, "trace")
+	if err != nil {
+		return nil, err
+	}
+	if series.KPIs != kpi.Count {
+		return nil, fmt.Errorf("trace %s carries %d KPIs, want %d", path, series.KPIs, kpi.Count)
+	}
+	if series.Databases < 2 {
+		return nil, fmt.Errorf("trace %s carries %d databases; correlation needs at least 2", path, series.Databases)
+	}
+	if series.Len() == 0 {
+		return nil, fmt.Errorf("trace %s is empty", path)
+	}
+	return series, nil
+}
+
+// parseFleetTargets parses the -fleet-scrape-targets spec: unit groups
+// separated by ';', each group either one exporter base URL (expanded to
+// the per-database /db/N/kpis targets, like self-scrape) or a
+// comma-separated list of exactly dbs URLs in database order. The group
+// count must match -units — a fleet scraping fewer exporters than it has
+// judges is a misconfiguration, not a default.
+func parseFleetTargets(spec string, units, dbs int) ([][]string, error) {
+	groups := strings.Split(spec, ";")
+	if len(groups) != units {
+		return nil, fmt.Errorf("-fleet-scrape-targets lists %d unit groups for %d units", len(groups), units)
+	}
+	out := make([][]string, len(groups))
+	for i, g := range groups {
+		list := splitTargets(g)
+		switch len(list) {
+		case 0:
+			return nil, fmt.Errorf("-fleet-scrape-targets unit %d is empty", i)
+		case 1:
+			out[i] = scrape.SelfTargets(strings.TrimRight(list[0], "/"), dbs)
+		case dbs:
+			out[i] = list
+		default:
+			return nil, fmt.Errorf("-fleet-scrape-targets unit %d lists %d targets; want one base URL or exactly %d", i, len(list), dbs)
+		}
+	}
+	return out, nil
 }
 
 // splitTargets parses the -scrape-targets list (nil when empty).

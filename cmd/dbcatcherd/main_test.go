@@ -1,10 +1,14 @@
 package main
 
 import (
+	"math"
+	"path/filepath"
 	"reflect"
 	"testing"
 
+	"dbcatcher/internal/cluster"
 	"dbcatcher/internal/scrape"
+	"dbcatcher/internal/tracefile"
 	"dbcatcher/internal/workload"
 )
 
@@ -94,6 +98,87 @@ func TestApplyScrapeFaults(t *testing.T) {
 	} {
 		if err := applyScrapeFaults(exp, bad, 3); err == nil {
 			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}
+
+// A recorded trace must replay through the collector bit-identically to the
+// simulation it captured — the -trace path's pipeline is then provably the
+// same stream the live run saw.
+func TestLoadTraceRoundTrip(t *testing.T) {
+	u, err := cluster.Simulate(cluster.Config{
+		Name: "rec", Databases: 3, Ticks: 40, Seed: 7, Profile: workload.TencentIrregular,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.csv")
+	if err := tracefile.WriteFile(path, u.Series); err != nil {
+		t.Fatal(err)
+	}
+	series, err := loadTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if series.Databases != 3 || series.Len() != 40 {
+		t.Fatalf("trace shape %dx%d", series.Databases, series.Len())
+	}
+	ref, err := cluster.NewCollector(u.Series, workload.FaultPlan{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cluster.NewCollector(series, workload.FaultPlan{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tick := 0; ; tick++ {
+		want, okW := ref.Next()
+		have, okH := got.Next()
+		if okW != okH {
+			t.Fatalf("tick %d: streams end at different ticks", tick)
+		}
+		if !okW {
+			break
+		}
+		for k := range want {
+			for d := range want[k] {
+				if math.Float64bits(want[k][d]) != math.Float64bits(have[k][d]) {
+					t.Fatalf("tick %d cell [%d][%d]: %v != %v", tick, k, d, have[k][d], want[k][d])
+				}
+			}
+		}
+	}
+}
+
+func TestLoadTraceRejectsWrongShape(t *testing.T) {
+	if _, err := loadTrace(filepath.Join(t.TempDir(), "missing.csv")); err == nil {
+		t.Fatal("loadTrace accepted a missing file")
+	}
+}
+
+func TestParseFleetTargets(t *testing.T) {
+	got, err := parseFleetTargets("http://a:1;http://b:2/db/0/kpis,http://b:2/db/1/kpis,http://b:2/db/2/kpis", 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || len(got[0]) != 3 || len(got[1]) != 3 {
+		t.Fatalf("groups = %v", got)
+	}
+	if got[0][2] != "http://a:1/db/2/kpis" {
+		t.Fatalf("base URL expansion = %q", got[0][2])
+	}
+	if got[1][0] != "http://b:2/db/0/kpis" {
+		t.Fatalf("explicit list = %q", got[1][0])
+	}
+	for _, bad := range []string{
+		"",               // no groups
+		"http://a:1",     // 1 group for 2 units
+		"http://a:1;;",   // empty group
+		"http://a:1;x,y", // 2 targets, want 1 or 3
+		"http://a:1;x;y", // 3 groups for 2 units
+	} {
+		if _, err := parseFleetTargets(bad, 2, 3); err == nil {
+			t.Errorf("spec %q should be rejected", bad)
 		}
 	}
 }

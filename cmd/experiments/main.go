@@ -26,6 +26,7 @@ func main() {
 		seed   = flag.Uint64("seed", 1, "random seed")
 		conc   = flag.Int("concurrency", 0, "per-unit worker pool (0 = GOMAXPROCS, 1 = serial; results identical)")
 		list   = flag.Bool("list", false, "list experiments and exit")
+		check  = flag.Bool("check", false, "with -run scenarios: fail if any scenario's F-measure drops below its pinned floor")
 		quiet  = flag.Bool("q", false, "suppress progress output")
 		format = flag.String("format", "table", "output format: table or csv")
 	)
@@ -38,7 +39,25 @@ func main() {
 	if !*quiet {
 		cfg.Log = os.Stderr
 	}
-	tables, err := experiments.Run(*run, cfg)
+	var tables []*experiments.Table
+	var err error
+	var floorErr error
+	if *check {
+		if strings.ToLower(*run) != "scenarios" {
+			fmt.Fprintln(os.Stderr, "experiments: -check applies to -run scenarios")
+			os.Exit(2)
+		}
+		var t *experiments.Table
+		t, floorErr = experiments.CheckScenarios(cfg)
+		if t != nil {
+			tables = []*experiments.Table{t}
+		} else if floorErr != nil {
+			err = floorErr
+			floorErr = nil
+		}
+	} else {
+		tables, err = experiments.Run(*run, cfg)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
@@ -49,5 +68,9 @@ func main() {
 		} else {
 			fmt.Println(t.Render())
 		}
+	}
+	if floorErr != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", floorErr)
+		os.Exit(1)
 	}
 }

@@ -207,3 +207,30 @@ func TestTableCSV(t *testing.T) {
 		t.Fatalf("CSV:\n%s", out)
 	}
 }
+
+// TestScenariosMatrix runs the hostile-scenario matrix once at the quick
+// scale: five rows in fixed order, every row covered by a pinned floor,
+// and the floor check itself passing at the default seed.
+func TestScenariosMatrix(t *testing.T) {
+	tab, err := CheckScenarios(Config{Runs: 1})
+	if err != nil {
+		t.Fatalf("floor check: %v", err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if len(row) != len(tab.Columns) {
+			t.Fatalf("row %v vs columns %v", row, tab.Columns)
+		}
+		if _, ok := ScenarioFloors[row[0]]; !ok {
+			t.Errorf("scenario %q has no floor", row[0])
+		}
+		if f := parsePct(t, row[7]); f <= 0 {
+			t.Errorf("%s: zero F-measure", row[0])
+		}
+	}
+	if len(tab.Notes) != 6 {
+		t.Fatalf("notes = %d", len(tab.Notes))
+	}
+}

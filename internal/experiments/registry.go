@@ -57,6 +57,9 @@ func Run(name string, cfg Config) ([]*Table, error) {
 	case "hybrid":
 		t, err := Hybrid(cfg)
 		return one(t, err)
+	case "scenarios":
+		t, err := Scenarios(cfg)
+		return one(t, err)
 	case "all":
 		var out []*Table
 		for _, n := range Names() {
@@ -88,7 +91,7 @@ func Names() []string {
 		"tableII", "tableIII", "figure3", "figure5",
 		"figure8", "figure9", "figure10",
 		"tableIX", "tableX", "figure11", "componenttime", "diagnosis",
-		"hybrid", "all",
+		"hybrid", "scenarios", "all",
 	}
 	return names
 }

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"dbcatcher/internal/metrics"
+	"dbcatcher/internal/scenario"
+)
+
+// ScenarioFloors pins the minimum merged F-measure each hostile scenario
+// must clear under `experiments -run scenarios -check`. The floors are
+// regression tripwires calibrated to the default seed at the quick scale
+// (CI runs exactly that); scores vary substantially across seeds, so a
+// floor is a "the detector still works on the pinned stream" check, not a
+// distribution-wide guarantee — see EXPERIMENTS.md for measured spreads.
+// Rolling-restart's floor is deliberately low: restart silences provably
+// cost precision today (every false alarm there fires on a degraded-health
+// window), and the floor records that honestly instead of hiding the
+// scenario.
+var ScenarioFloors = map[string]float64{
+	"noisy-neighbor":    0.55,
+	"failover-storm":    0.50,
+	"rolling-restart":   0.25,
+	"network-partition": 0.60,
+	"slow-burn-cascade": 0.45,
+}
+
+// scenarioTicks maps the experiment scale onto a scenario stream length:
+// 800 ticks at the quick scale, the paper's 2592 at scale 1.
+func (c Config) scenarioTicks() int {
+	if c.Scale >= 1 {
+		return int(2592 * c.Scale)
+	}
+	t := 800
+	if c.Scale > 0 {
+		t = int(800 + c.Scale*(2592-800))
+	}
+	return t
+}
+
+// Scenarios runs the hostile-scenario matrix — every scripted failure
+// story streamed through the online judge over cfg.Runs seeds — and
+// reports the merged confusion per scenario.
+func Scenarios(cfg Config) (*Table, error) {
+	t, _, err := scenarioMatrix(cfg)
+	return t, err
+}
+
+// CheckScenarios runs the matrix and additionally enforces ScenarioFloors,
+// returning the rendered table alongside an error naming every scenario
+// whose merged F-measure fell below its floor.
+func CheckScenarios(cfg Config) (*Table, error) {
+	t, results, err := scenarioMatrix(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var breaches []string
+	for _, r := range results {
+		floor, ok := ScenarioFloors[r.Name]
+		if !ok {
+			breaches = append(breaches, fmt.Sprintf("%s: no floor pinned", r.Name))
+			continue
+		}
+		if f := r.Confusion.FMeasure(); f < floor {
+			breaches = append(breaches, fmt.Sprintf("%s: F=%.3f below floor %.2f", r.Name, f, floor))
+		}
+	}
+	if len(breaches) > 0 {
+		return t, fmt.Errorf("scenarios: %s", strings.Join(breaches, "; "))
+	}
+	return t, nil
+}
+
+func scenarioMatrix(cfg Config) (*Table, []scenario.Result, error) {
+	cfg = cfg.withDefaults()
+	ticks := cfg.scenarioTicks()
+	t := &Table{
+		Title: fmt.Sprintf("Hostile-scenario matrix (%d ticks, %d runs merged)", ticks, cfg.Runs),
+		Columns: []string{
+			"Scenario", "TP", "FP", "TN", "FN",
+			"Precision", "Recall", "F-Measure", "Degraded",
+		},
+	}
+	var results []scenario.Result
+	for _, s := range scenario.All() {
+		merged := scenario.Result{Name: s.Name}
+		var conf metrics.Confusion
+		for r := 0; r < cfg.Runs; r++ {
+			cfg.logf("scenarios: %s run %d/%d", s.Name, r+1, cfg.Runs)
+			res, err := s.Run(scenario.Config{
+				Ticks:   ticks,
+				Workers: cfg.Concurrency,
+			}, cfg.Seed+uint64(r))
+			if err != nil {
+				return nil, nil, fmt.Errorf("scenarios: %s: %w", s.Name, err)
+			}
+			conf.Merge(res.Confusion)
+			merged.Verdicts += res.Verdicts
+			merged.Degraded += res.Degraded
+			merged.Skipped += res.Skipped
+		}
+		merged.Confusion = conf
+		results = append(results, merged)
+		t.AddRow(s.Name,
+			strconv.Itoa(conf.TP), strconv.Itoa(conf.FP),
+			strconv.Itoa(conf.TN), strconv.Itoa(conf.FN),
+			pct(conf.Precision()), pct(conf.Recall()), pct(conf.FMeasure()),
+			strconv.Itoa(merged.Degraded),
+		)
+		t.Notes = append(t.Notes, fmt.Sprintf("%s: %s", s.Name, s.Truth))
+	}
+	t.Notes = append(t.Notes,
+		"rolling-restart falls short of its own truth today: every false alarm fires inside a restart silence and carries degraded health, so operators see \"alarm on missing data\", not a clean page — the matrix records the gap instead of tuning it away")
+	return t, results, nil
+}

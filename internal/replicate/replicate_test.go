@@ -402,7 +402,7 @@ func TestServerSegmentEndpointValidation(t *testing.T) {
 		"/replicate/segment/" + store.SegmentName(999):     http.StatusGone,
 		"/replicate/segment/wal-0000000000000000001.seg":   http.StatusBadRequest, // 19 digits
 		"/replicate/snapshot":                              http.StatusNotFound,   // none written yet
-		"/replicate/segment/" + seg + "?offset=1000000000": http.StatusOK, // past end: empty, not an error
+		"/replicate/segment/" + seg + "?offset=1000000000": http.StatusOK,         // past end: empty, not an error
 	} {
 		resp, err := http.Get(srv.URL + path)
 		if err != nil {
@@ -412,5 +412,84 @@ func TestServerSegmentEndpointValidation(t *testing.T) {
 		if resp.StatusCode != want {
 			t.Fatalf("GET %s = %d, want %d", path, resp.StatusCode, want)
 		}
+	}
+}
+
+// TestReplicationLagReporting covers both sides of the lag surface: the
+// tailer's BytesBehind/SegmentsBehind against the primary's manifest, and
+// the primary's per-peer progress table fed by the fetch pattern.
+func TestReplicationLagReporting(t *testing.T) {
+	st := primaryWithRecords(t, store.Options{Fsync: store.FsyncAlways, SegmentBytes: 128}, 30)
+	rs := NewServer(st)
+	srv := httptest.NewServer(rs.Handler())
+	defer srv.Close()
+
+	tl, err := NewTailer(fastCfg(srv.URL, t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := tl.Status(); s.BytesBehind != 0 || s.SegmentsBehind != 0 {
+		t.Fatalf("lag before first contact: %+v", s)
+	}
+	stepUntilCaughtUp(t, tl, 3)
+	if s := tl.Status(); s.BytesBehind != 0 || s.SegmentsBehind != 0 || !s.CaughtUp {
+		t.Fatalf("caught-up tailer reports lag: %+v", s)
+	}
+
+	peers := rs.Peers()
+	if len(peers) != 1 {
+		t.Fatalf("peers = %+v", peers)
+	}
+	m, err := st.ReplicationManifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var committed int64
+	for _, seg := range m.Segments {
+		committed += seg.Size
+	}
+	p := peers[0]
+	if p.BytesBehind != 0 || p.SegmentsBehind != 0 || p.ServedBytes != committed {
+		t.Fatalf("caught-up peer = %+v (committed %d)", p, committed)
+	}
+	if p.LastContactMsAgo < 0 || p.LastContactMsAgo > 60_000 {
+		t.Fatalf("last contact age = %d", p.LastContactMsAgo)
+	}
+
+	// New appends the follower has not fetched yet: the primary's view of
+	// the peer falls behind by exactly the new committed bytes, and the
+	// tailer's next manifest poll reports the same gap before catch-up.
+	before := committed
+	for i := 0; i < 10; i++ {
+		if _, err := st.AppendCounters(store.CountersRecord{GapCells: 100 + i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, err = st.ReplicationManifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	committed = 0
+	for _, seg := range m.Segments {
+		committed += seg.Size
+	}
+	delta := committed - before
+	if delta <= 0 {
+		t.Fatalf("appends committed no bytes")
+	}
+	p = rs.Peers()[0]
+	if p.BytesBehind != delta || p.SegmentsBehind == 0 {
+		t.Fatalf("stale peer = %+v, want %d bytes behind", p, delta)
+	}
+
+	stepUntilCaughtUp(t, tl, 3)
+	p = rs.Peers()[0]
+	if p.BytesBehind != 0 || p.SegmentsBehind != 0 {
+		t.Fatalf("peer after catch-up = %+v", p)
+	}
+
+	block, ok := rs.StatusBlock().(map[string]interface{})
+	if !ok || block["peers"] == nil || block["lastSeq"] != m.LastSeq {
+		t.Fatalf("status block = %#v", block)
 	}
 }

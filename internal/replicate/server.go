@@ -11,9 +11,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"os"
+	"sort"
 	"strings"
+	"sync"
+	"time"
 
 	"dbcatcher/internal/store"
 )
@@ -26,16 +30,122 @@ const maxFenceBody = 1 << 10
 // cap is still returned whole, so progress is guaranteed).
 const DefaultMaxChunk = 256 << 10
 
+// maxTrackedPeers bounds the per-peer progress table; when a scanner (or a
+// fleet of followers) overflows it, the longest-silent peer is evicted.
+const maxTrackedPeers = 64
+
 // Server exposes a primary store's replication surface. Mount Handler
 // under the daemon's root mux; all routes live below /replicate/.
 type Server struct {
 	st       *store.Store
 	maxChunk int
+
+	mu    sync.Mutex
+	peers map[string]*peerProgress
+}
+
+// peerProgress is the primary's record of one follower's fetch pattern:
+// when it last called, and per segment the byte prefix it has been served
+// (the follower only asks for offset X after durably mirroring X bytes, so
+// a request at X proves the prefix and the served chunk extends it).
+type peerProgress struct {
+	lastContact time.Time
+	served      map[string]int64
 }
 
 // NewServer wraps an open store for replication serving.
 func NewServer(st *store.Store) *Server {
-	return &Server{st: st, maxChunk: DefaultMaxChunk}
+	return &Server{st: st, maxChunk: DefaultMaxChunk, peers: make(map[string]*peerProgress)}
+}
+
+// PeerStatus is the primary's view of one follower's replication lag,
+// measured against the current manifest.
+type PeerStatus struct {
+	// Peer is the follower's remote host.
+	Peer string `json:"peer"`
+	// LastContactMsAgo is the age of the peer's last replication fetch.
+	LastContactMsAgo int64 `json:"lastContactMsAgo"`
+	// ServedBytes is the total committed WAL prefix served to this peer
+	// across the manifest's segments.
+	ServedBytes int64 `json:"servedBytes"`
+	// BytesBehind and SegmentsBehind are the committed bytes and segment
+	// count the peer has not fetched yet.
+	BytesBehind    int64 `json:"bytesBehind"`
+	SegmentsBehind int   `json:"segmentsBehind"`
+}
+
+// observePeer records one replication fetch. seg is empty for manifest and
+// snapshot calls (contact only); served is the byte prefix of seg the peer
+// holds after this response.
+func (s *Server) observePeer(r *http.Request, seg string, served int64) {
+	host := r.RemoteAddr
+	if h, _, err := net.SplitHostPort(host); err == nil {
+		host = h
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := s.peers[host]
+	if p == nil {
+		if len(s.peers) >= maxTrackedPeers {
+			oldest, oldestAt := "", time.Time{}
+			for k, v := range s.peers {
+				if oldest == "" || v.lastContact.Before(oldestAt) {
+					oldest, oldestAt = k, v.lastContact
+				}
+			}
+			delete(s.peers, oldest)
+		}
+		p = &peerProgress{served: make(map[string]int64)}
+		s.peers[host] = p
+	}
+	p.lastContact = time.Now()
+	if seg != "" && served > p.served[seg] {
+		p.served[seg] = served
+	}
+}
+
+// Peers reports every tracked follower's lag against the current manifest,
+// sorted by peer host.
+func (s *Server) Peers() []PeerStatus {
+	m, err := s.st.ReplicationManifest()
+	if err != nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]PeerStatus, 0, len(s.peers))
+	for host, p := range s.peers {
+		ps := PeerStatus{
+			Peer:             host,
+			LastContactMsAgo: time.Since(p.lastContact).Milliseconds(),
+		}
+		for _, seg := range m.Segments {
+			have := p.served[seg.Name]
+			if have > seg.Size {
+				have = seg.Size // segment shrank only via compaction+rename; clamp
+			}
+			ps.ServedBytes += have
+			if have < seg.Size {
+				ps.BytesBehind += seg.Size - have
+				ps.SegmentsBehind++
+			}
+		}
+		out = append(out, ps)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Peer < out[j].Peer })
+	return out
+}
+
+// StatusBlock summarizes the primary's replication surface for the status
+// APIs: the served log extent plus every tracked follower's lag.
+func (s *Server) StatusBlock() interface{} {
+	block := map[string]interface{}{"peers": s.Peers()}
+	if m, err := s.st.ReplicationManifest(); err == nil {
+		block["epoch"] = m.Epoch
+		block["lastSeq"] = m.LastSeq
+		block["segments"] = len(m.Segments)
+	}
+	return block
 }
 
 // Handler routes the replication API:
@@ -63,6 +173,7 @@ func (s *Server) handleManifest(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
+	s.observePeer(r, "", 0)
 	writeJSON(w, m)
 }
 
@@ -96,6 +207,7 @@ func (s *Server) handleSegment(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
+	s.observePeer(r, name, int64(off)+int64(len(b)))
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("Content-Length", fmt.Sprint(len(b)))
 	_, _ = w.Write(b)
@@ -115,6 +227,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
+	s.observePeer(r, "", 0)
 	w.Header().Set("Content-Type", "application/json")
 	_, _ = w.Write(blob)
 }

@@ -90,6 +90,11 @@ type Status struct {
 	// CaughtUp reports Applied == PrimaryLastSeq as of the last
 	// successful step.
 	CaughtUp bool
+	// BytesBehind and SegmentsBehind measure replication lag against the
+	// last fetched manifest: committed WAL bytes not yet mirrored locally,
+	// and how many advertised segments are still incomplete here.
+	BytesBehind    int64
+	SegmentsBehind int
 	// Stale reports no successful primary contact within the budget.
 	Stale bool
 	// LastContact is the last successful manifest fetch.
@@ -211,6 +216,7 @@ func (t *Tailer) step(ctx context.Context) error {
 	t.st.Epoch = m.Epoch
 	t.st.PrimaryLastSeq = m.LastSeq
 	t.st.LastContact = time.Now()
+	t.st.BytesBehind, t.st.SegmentsBehind = t.lag(&m)
 	t.mu.Unlock()
 
 	if err := t.catchUp(ctx, &m); err != nil {
@@ -219,8 +225,23 @@ func (t *Tailer) step(ctx context.Context) error {
 	t.mu.Lock()
 	t.st.CaughtUp = t.applied >= m.LastSeq
 	t.st.Applied = t.applied
+	t.st.BytesBehind, t.st.SegmentsBehind = t.lag(&m)
 	t.mu.Unlock()
 	return nil
+}
+
+// lag measures the mirror against a manifest: advertised committed bytes
+// not yet held locally, and how many segments are incomplete. Called from
+// the step thread (pos is single-threaded); the caller stores the result
+// under mu.
+func (t *Tailer) lag(m *store.Manifest) (bytes int64, segments int) {
+	for _, s := range m.Segments {
+		if have := t.pos[s.Name].bytes; have < s.Size {
+			bytes += s.Size - have
+			segments++
+		}
+	}
+	return bytes, segments
 }
 
 // Run loops Step at the poll cadence (jittered) until ctx is done. Step

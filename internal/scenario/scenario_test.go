@@ -1,0 +1,35 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Same seed, same config: the matrix must reproduce bit for bit.
+func TestScenariosDeterministic(t *testing.T) {
+	for _, s := range All() {
+		a, err := s.Run(Config{Ticks: 500}, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		b, err := s.Run(Config{Ticks: 500}, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: runs differ:\n%+v\n%+v", s.Name, a, b)
+		}
+	}
+}
+
+func TestScenarioScores(t *testing.T) {
+	for _, s := range All() {
+		r, err := s.Run(Config{Ticks: 800}, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		c := r.Confusion
+		t.Logf("%-18s TP=%d FP=%d TN=%d FN=%d P=%.2f R=%.2f F=%.2f verdicts=%d degraded=%d skipped=%d",
+			s.Name, c.TP, c.FP, c.TN, c.FN, c.Precision(), c.Recall(), c.FMeasure(), r.Verdicts, r.Degraded, r.Skipped)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 )
 
@@ -21,10 +22,10 @@ const (
 	FaultHang
 	// Fault5xx answers 500 Internal Server Error.
 	Fault5xx
-	// FaultTruncate sends a 200 with the first half of the JSON body and
-	// stops (exercises the strict payload parser).
+	// FaultTruncate sends a 200 with the first half of the body and stops
+	// (exercises the strict payload parsers).
 	FaultTruncate
-	// FaultGarbage sends a 200 whose body is not JSON at all.
+	// FaultGarbage sends a 200 whose body is neither payload format.
 	FaultGarbage
 	// FaultDrop severs the TCP connection mid-response without a status
 	// line (exercises transport-level error handling).
@@ -36,6 +37,11 @@ const (
 	// FaultStale serves tick and values frozen at the moment the fault was
 	// installed (exercises staleness detection and mark-down).
 	FaultStale
+	// FaultFormatFlip serves a well-formed response in the *other*
+	// exposition format than the one negotiated — a target that switched
+	// format mid-flight (exercises the parsers' refusal to silently accept
+	// the wrong format: the column degrades, the round never wedges).
+	FaultFormatFlip
 )
 
 // String names the mode (also the -scrape-fault flag spelling).
@@ -57,13 +63,15 @@ func (m FaultMode) String() string {
 		return "flap"
 	case FaultStale:
 		return "stale"
+	case FaultFormatFlip:
+		return "format-flip"
 	}
 	return fmt.Sprintf("FaultMode(%d)", int(m))
 }
 
 // ParseFaultMode parses a FaultMode name.
 func ParseFaultMode(s string) (FaultMode, error) {
-	for m := FaultNone; m <= FaultStale; m++ {
+	for m := FaultNone; m <= FaultFormatFlip; m++ {
 		if m.String() == s {
 			return m, nil
 		}
@@ -83,16 +91,20 @@ type targetFault struct {
 	fault    Fault
 	affected int // requests hit so far by the current fault
 	requests int // total requests served (drives FaultFlap parity)
-	// frozen holds the payload captured when a FaultStale was installed.
-	frozen []byte
-	// stalePending requests capture of the next healthy payload.
+	// frozenTick/frozenVals hold the sample captured when a FaultStale was
+	// installed; freezing values rather than rendered bytes lets a stale
+	// target answer in whichever format each request negotiates.
+	frozenTick int
+	frozenVals []float64
+	// stalePending requests capture of the next healthy sample.
 	stalePending bool
 }
 
 // Exporter serves a unit's per-database KPI vectors over HTTP: GET
-// /db/{db}/kpis returns the database's current-tick Payload. Faults are
-// injectable per target so tests and demos can script the full set of
-// real-world scrape failures.
+// /db/{db}/kpis returns the database's current-tick sample as the bespoke
+// JSON payload or, when the request's Accept header asks for text/plain, as
+// Prometheus text exposition. Faults are injectable per target so tests and
+// demos can script the full set of real-world scrape failures.
 type Exporter struct {
 	feed *Feed
 
@@ -139,6 +151,16 @@ func (e *Exporter) Handler() http.Handler {
 	return mux
 }
 
+// formatFor resolves a scrape request's negotiated format: asking for
+// text/plain (the Prometheus exposition content type) selects FormatProm,
+// anything else the JSON payload.
+func formatFor(r *http.Request) Format {
+	if strings.Contains(r.Header.Get("Accept"), "text/plain") {
+		return FormatProm
+	}
+	return FormatJSON
+}
+
 func (e *Exporter) handleKPIs(w http.ResponseWriter, r *http.Request) {
 	_, dbs := e.feed.Shape()
 	db, err := strconv.Atoi(r.PathValue("db"))
@@ -148,7 +170,7 @@ func (e *Exporter) handleKPIs(w http.ResponseWriter, r *http.Request) {
 	}
 
 	e.mu.Lock()
-	body, mode := e.renderLocked(db)
+	body, served, mode := e.renderLocked(db, formatFor(r))
 	e.mu.Unlock()
 
 	switch mode {
@@ -160,11 +182,11 @@ func (e *Exporter) handleKPIs(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "injected fault", http.StatusInternalServerError)
 		return
 	case FaultGarbage:
-		w.Header().Set("Content-Type", "application/json")
-		_, _ = w.Write([]byte("<<<this is not json at all>>>"))
+		w.Header().Set("Content-Type", served.contentType())
+		_, _ = w.Write([]byte("<<<this is not a payload at all>>>"))
 		return
 	case FaultTruncate:
-		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Type", served.contentType())
 		w.Header().Set("Content-Length", strconv.Itoa(len(body)))
 		_, _ = w.Write(body[:len(body)/2])
 		// Returning without the rest aborts the response mid-body: the
@@ -178,14 +200,14 @@ func (e *Exporter) handleKPIs(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "no sample published yet", http.StatusServiceUnavailable)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Type", served.contentType())
 	_, _ = w.Write(body)
 }
 
 // renderLocked resolves db's fault for this request and, when the request
-// should carry data, renders the response body. A nil body with FaultNone
-// means no tick has been published yet.
-func (e *Exporter) renderLocked(db int) (body []byte, mode FaultMode) {
+// should carry data, renders the response body in the served format. A nil
+// body with FaultNone means no tick has been published yet.
+func (e *Exporter) renderLocked(db int, f Format) (body []byte, served Format, mode FaultMode) {
 	tf := &e.faults[db]
 	tf.requests++
 	mode = tf.fault.Mode
@@ -200,29 +222,41 @@ func (e *Exporter) renderLocked(db int) (body []byte, mode FaultMode) {
 		if tf.requests%2 == 1 {
 			mode = FaultNone
 		} else {
-			return nil, Fault5xx
+			return nil, f, Fault5xx
 		}
+	}
+	if mode == FaultFormatFlip {
+		if f == FormatJSON {
+			f = FormatProm
+		} else {
+			f = FormatJSON
+		}
+		mode = FaultNone
 	}
 
 	tick, ok := e.feed.Read(db, e.vecs[db])
 	if !ok {
-		return nil, mode
+		return nil, f, mode
 	}
-	p := Payload{Tick: tick, DB: db, Values: e.vecs[db]}
-	e.bufs[db] = appendPayload(e.bufs[db][:0], &p)
-
-	switch mode {
-	case FaultStale:
+	vals := e.vecs[db]
+	if mode == FaultStale {
 		if tf.stalePending {
-			tf.frozen = append(tf.frozen[:0], e.bufs[db]...)
+			tf.frozenTick = tick
+			tf.frozenVals = append(tf.frozenVals[:0], vals...)
 			tf.stalePending = false
 		}
+		tick, vals = tf.frozenTick, tf.frozenVals
+		mode = FaultNone
+	}
+	p := Payload{Tick: tick, DB: db, Values: vals}
+	e.bufs[db] = AppendBody(e.bufs[db][:0], &p, f)
+
+	switch mode {
+	case FaultNone, FaultTruncate:
 		// The handler writes after the lock drops, so it must not hold a
 		// buffer a concurrent render could rewrite: copy out.
-		return append([]byte(nil), tf.frozen...), FaultNone
-	case FaultNone, FaultTruncate:
-		return append([]byte(nil), e.bufs[db]...), mode
+		return append([]byte(nil), e.bufs[db]...), f, mode
 	default:
-		return nil, mode
+		return nil, f, mode
 	}
 }

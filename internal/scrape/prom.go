@@ -1,0 +1,349 @@
+package scrape
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// Format selects a scrape target's wire exposition. The JSON payload is the
+// bespoke in-house format; FormatProm is the Prometheus text exposition a
+// real cloud exporter would serve. Both carry exactly the same information
+// (tick, database id, KPI vector) and both parsers are strict: a healthy
+// scrape decodes to bit-identical vectors regardless of format.
+type Format int
+
+const (
+	// FormatJSON scrapes the bespoke JSON payload (the default).
+	FormatJSON Format = iota
+	// FormatProm scrapes the Prometheus text exposition.
+	FormatProm
+)
+
+// String names the format (also the -scrape-format flag spelling).
+func (f Format) String() string {
+	switch f {
+	case FormatJSON:
+		return "json"
+	case FormatProm:
+		return "prom"
+	}
+	return fmt.Sprintf("Format(%d)", int(f))
+}
+
+// ParseFormat parses a Format name.
+func ParseFormat(s string) (Format, error) {
+	for f := FormatJSON; f <= FormatProm; f++ {
+		if f.String() == s {
+			return f, nil
+		}
+	}
+	return 0, fmt.Errorf("scrape: unknown scrape format %q", s)
+}
+
+// contentType is the response Content-Type the exporter serves for the
+// format; accept is what the scraper asks for (content negotiation).
+func (f Format) contentType() string {
+	if f == FormatProm {
+		return promContentType
+	}
+	return "application/json"
+}
+
+const promContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// AppendBody renders p in format f onto b (reusing b's backing storage) and
+// returns the extended slice. The single dispatch point the exporter — and
+// cmd/bench, which measures the wire paths from outside the package —
+// renders through.
+func AppendBody(b []byte, p *Payload, f Format) []byte {
+	if f == FormatProm {
+		return appendProm(b, p)
+	}
+	return appendPayload(b, p)
+}
+
+// ParseBody decodes body in format f into p, reusing p.Values' backing
+// storage. Both formats apply the same strict reject-trailing-garbage
+// discipline; a healthy body decodes to bit-identical vectors either way.
+func ParseBody(body []byte, p *Payload, f Format) error {
+	if f == FormatProm {
+		return parseProm(body, p)
+	}
+	return parsePayload(body, p)
+}
+
+// accept is the Accept header the scraper sends to negotiate the format.
+func (f Format) accept() string {
+	if f == FormatProm {
+		return "text/plain;version=0.0.4"
+	}
+	return "application/json"
+}
+
+// Prometheus series names of the exposition. Every KPI cell is one
+// dbcatcher_kpi sample keyed by its KPI index, and dbcatcher_tick carries
+// the exporter's collection tick so staleness detection works identically
+// to the JSON path.
+const (
+	promTickSeries = "dbcatcher_tick"
+	promKPISeries  = "dbcatcher_kpi"
+)
+
+// appendProm renders p as Prometheus text exposition. Floats use strconv's
+// shortest round-trip form and NaN cells are emitted as the NaN literal —
+// the exposition-format spelling of the JSON payload's null — so the prom
+// path stays bit-identical to the JSON path.
+func appendProm(b []byte, p *Payload) []byte {
+	b = append(b, "# TYPE "+promTickSeries+" gauge\n"...)
+	b = append(b, promTickSeries+`{db="`...)
+	b = strconv.AppendInt(b, int64(p.DB), 10)
+	b = append(b, `"} `...)
+	b = strconv.AppendInt(b, int64(p.Tick), 10)
+	b = append(b, '\n')
+	b = append(b, "# TYPE "+promKPISeries+" gauge\n"...)
+	for i, v := range p.Values {
+		b = append(b, promKPISeries+`{db="`...)
+		b = strconv.AppendInt(b, int64(p.DB), 10)
+		b = append(b, `",kpi="`...)
+		b = strconv.AppendInt(b, int64(i), 10)
+		b = append(b, `"} `...)
+		if math.IsNaN(v) {
+			b = append(b, `NaN`...)
+		} else {
+			b = strconv.AppendFloat(b, v, 'g', -1, 64)
+		}
+		b = append(b, '\n')
+	}
+	return b
+}
+
+// parseProm decodes a Prometheus text-exposition body into p, reusing
+// p.Values' backing storage. It applies the same strict discipline as
+// parsePayload: exactly one dbcatcher_tick sample, dbcatcher_kpi samples in
+// strictly increasing kpi order starting at 0 (so duplicate, out-of-order,
+// or missing series are rejected, not silently absorbed), one consistent db
+// label, finite or NaN values only, and nothing else but comments and blank
+// lines. Truncation mid-line, mid-label, or mid-number errors rather than
+// yielding a half-filled vector.
+func parseProm(body []byte, p *Payload) error {
+	d := promParser{buf: body}
+	return d.parse(p)
+}
+
+type promParser struct {
+	buf []byte
+	pos int
+}
+
+func (d *promParser) parse(p *Payload) error {
+	p.Values = p.Values[:0]
+	p.Tick, p.DB = 0, -1
+	tickSeen := false
+	for d.pos < len(d.buf) {
+		c := d.buf[d.pos]
+		switch {
+		case c == '\n':
+			d.pos++
+		case c == '#':
+			d.skipLine()
+		default:
+			if err := d.sample(p, &tickSeen); err != nil {
+				return err
+			}
+		}
+	}
+	if !tickSeen {
+		return fmt.Errorf("scrape: exposition missing %s series", promTickSeries)
+	}
+	if len(p.Values) == 0 {
+		return fmt.Errorf("scrape: exposition carries no %s series", promKPISeries)
+	}
+	return nil
+}
+
+// skipLine consumes through the next newline (or EOF: a comment needs no
+// terminator to be ignorable).
+func (d *promParser) skipLine() {
+	for d.pos < len(d.buf) && d.buf[d.pos] != '\n' {
+		d.pos++
+	}
+	if d.pos < len(d.buf) {
+		d.pos++
+	}
+}
+
+// sample parses one metric line. The exposition grammar accepted is exactly
+// what appendProm emits: name{labels} value\n with single spaces and no
+// timestamps.
+func (d *promParser) sample(p *Payload, tickSeen *bool) error {
+	start := d.pos
+	for d.pos < len(d.buf) && d.buf[d.pos] != '{' && d.buf[d.pos] != '\n' {
+		d.pos++
+	}
+	if d.pos >= len(d.buf) || d.buf[d.pos] != '{' {
+		return fmt.Errorf("scrape: malformed exposition at byte %d (metric without labels)", start)
+	}
+	name := d.buf[start:d.pos]
+	d.pos++ // consume '{'
+	switch string(name) {
+	case promTickSeries:
+		if *tickSeen {
+			return fmt.Errorf("scrape: duplicate %s series", promTickSeries)
+		}
+		db, err := d.label("db")
+		if err != nil {
+			return err
+		}
+		if err := d.closeLabels(); err != nil {
+			return err
+		}
+		if err := d.setDB(p, db); err != nil {
+			return err
+		}
+		tick, err := d.intValue()
+		if err != nil {
+			return err
+		}
+		p.Tick = tick
+		*tickSeen = true
+		return nil
+	case promKPISeries:
+		db, err := d.label("db")
+		if err != nil {
+			return err
+		}
+		if d.pos >= len(d.buf) || d.buf[d.pos] != ',' {
+			return fmt.Errorf("scrape: malformed exposition at byte %d (want kpi label)", d.pos)
+		}
+		d.pos++
+		id, err := d.label("kpi")
+		if err != nil {
+			return err
+		}
+		if err := d.closeLabels(); err != nil {
+			return err
+		}
+		if err := d.setDB(p, db); err != nil {
+			return err
+		}
+		if id != len(p.Values) {
+			return fmt.Errorf("scrape: duplicate, missing, or out-of-order %s series (kpi %d, want %d)",
+				promKPISeries, id, len(p.Values))
+		}
+		v, err := d.floatValue()
+		if err != nil {
+			return err
+		}
+		p.Values = append(p.Values, v)
+		return nil
+	}
+	return fmt.Errorf("scrape: unknown series %q in exposition", name)
+}
+
+// label consumes name="<digits>" and returns the integer label value.
+func (d *promParser) label(name string) (int, error) {
+	if d.pos+len(name)+2 > len(d.buf) ||
+		string(d.buf[d.pos:d.pos+len(name)]) != name ||
+		d.buf[d.pos+len(name)] != '=' || d.buf[d.pos+len(name)+1] != '"' {
+		return 0, fmt.Errorf("scrape: malformed exposition at byte %d (want %s label)", d.pos, name)
+	}
+	d.pos += len(name) + 2
+	return d.digits()
+}
+
+// closeLabels consumes `"} ` — the end of a label set and the single space
+// before the value.
+func (d *promParser) closeLabels() error {
+	if d.pos+2 > len(d.buf) || d.buf[d.pos] != '}' || d.buf[d.pos+1] != ' ' {
+		return fmt.Errorf("scrape: malformed exposition at byte %d (want \"} \")", d.pos)
+	}
+	d.pos += 2
+	return nil
+}
+
+// digits consumes an unsigned decimal integer followed by a closing quote.
+func (d *promParser) digits() (int, error) {
+	start := d.pos
+	n := 0
+	for d.pos < len(d.buf) {
+		c := d.buf[d.pos]
+		if c < '0' || c > '9' {
+			break
+		}
+		if n > (1<<53)/10 {
+			return 0, fmt.Errorf("scrape: label value overflow at byte %d", start)
+		}
+		n = n*10 + int(c-'0')
+		d.pos++
+	}
+	if d.pos == start {
+		return 0, fmt.Errorf("scrape: malformed exposition at byte %d (want digits)", d.pos)
+	}
+	if d.pos >= len(d.buf) || d.buf[d.pos] != '"' {
+		return 0, fmt.Errorf("scrape: malformed exposition at byte %d (unterminated label)", d.pos)
+	}
+	d.pos++
+	return n, nil
+}
+
+// setDB pins the payload's database id from a sample's db label; every
+// sample in one exposition must agree.
+func (d *promParser) setDB(p *Payload, db int) error {
+	if p.DB == -1 {
+		p.DB = db
+		return nil
+	}
+	if p.DB != db {
+		return fmt.Errorf("scrape: exposition mixes databases %d and %d", p.DB, db)
+	}
+	return nil
+}
+
+// intValue consumes an unsigned integer value token and its newline.
+func (d *promParser) intValue() (int, error) {
+	start := d.pos
+	n := 0
+	for d.pos < len(d.buf) && d.buf[d.pos] != '\n' {
+		c := d.buf[d.pos]
+		if c < '0' || c > '9' || n > (1<<53)/10 {
+			return 0, fmt.Errorf("scrape: bad tick value at byte %d", start)
+		}
+		n = n*10 + int(c-'0')
+		d.pos++
+	}
+	if d.pos == start {
+		return 0, fmt.Errorf("scrape: truncated exposition (missing tick value)")
+	}
+	if d.pos >= len(d.buf) {
+		return 0, fmt.Errorf("scrape: truncated exposition (sample without newline)")
+	}
+	d.pos++ // consume '\n'
+	return n, nil
+}
+
+// floatValue consumes a float value token and its newline. NaN is a legal
+// gap marker (the exposition spelling of the JSON payload's null); ±Inf and
+// anything strconv rejects are errors.
+func (d *promParser) floatValue() (float64, error) {
+	start := d.pos
+	for d.pos < len(d.buf) && d.buf[d.pos] != '\n' {
+		d.pos++
+	}
+	if d.pos == start {
+		return 0, fmt.Errorf("scrape: truncated exposition (missing value)")
+	}
+	if d.pos >= len(d.buf) {
+		return 0, fmt.Errorf("scrape: truncated exposition (sample without newline)")
+	}
+	tok := d.buf[start:d.pos]
+	d.pos++ // consume '\n'
+	v, err := strconv.ParseFloat(string(tok), 64)
+	if err != nil {
+		return 0, fmt.Errorf("scrape: bad value %q in exposition", tok)
+	}
+	if math.IsInf(v, 0) {
+		return 0, fmt.Errorf("scrape: non-finite value %q in exposition", tok)
+	}
+	return v, nil
+}

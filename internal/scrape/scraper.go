@@ -48,6 +48,14 @@ type Config struct {
 	// rejected as garbage.
 	KPIs int
 
+	// Format selects the wire exposition every target is scraped in
+	// (default FormatJSON). The scraper negotiates it via the Accept
+	// header and parses the response with the matching strict parser.
+	Format Format
+	// Formats optionally overrides the format per target; when non-nil it
+	// must name one format per Targets entry.
+	Formats []Format
+
 	// RoundTimeout is the collection deadline per tick: whatever has not
 	// arrived when it expires is assembled as NaN gaps. Default 2s.
 	RoundTimeout time.Duration
@@ -145,8 +153,9 @@ const (
 // the scraper mutex; scratch fields are owned by the target's round
 // goroutine.
 type targetState struct {
-	url string
-	db  int
+	url    string
+	db     int
+	format Format
 
 	state       BreakerState
 	consecFails int
@@ -197,6 +206,7 @@ type RoundReport struct {
 type TargetHealth struct {
 	URL                 string `json:"url"`
 	DB                  int    `json:"db"`
+	Format              string `json:"format"`
 	Breaker             string `json:"breaker"`
 	ConsecutiveFailures int    `json:"consecutiveFailures"`
 	Scrapes             int    `json:"scrapes"`
@@ -250,6 +260,18 @@ func New(cfg Config) (*Scraper, error) {
 	if cfg.KPIs <= 0 {
 		return nil, fmt.Errorf("scrape: non-positive KPI count %d", cfg.KPIs)
 	}
+	if cfg.Format < FormatJSON || cfg.Format > FormatProm {
+		return nil, fmt.Errorf("scrape: invalid format %d", int(cfg.Format))
+	}
+	if cfg.Formats != nil && len(cfg.Formats) != len(cfg.Targets) {
+		return nil, fmt.Errorf("scrape: %d per-target formats for %d targets",
+			len(cfg.Formats), len(cfg.Targets))
+	}
+	for _, f := range cfg.Formats {
+		if f < FormatJSON || f > FormatProm {
+			return nil, fmt.Errorf("scrape: invalid format %d", int(f))
+		}
+	}
 	cfg = cfg.withDefaults()
 	s := &Scraper{cfg: cfg, client: cfg.Client}
 	if s.client == nil {
@@ -258,9 +280,14 @@ func New(cfg Config) (*Scraper, error) {
 	root := mathx.NewRNG(cfg.JitterSeed).Split(0x5c4a)
 	s.targets = make([]*targetState, len(cfg.Targets))
 	for d, url := range cfg.Targets {
+		format := cfg.Format
+		if cfg.Formats != nil {
+			format = cfg.Formats[d]
+		}
 		s.targets[d] = &targetState{
 			url:      url,
 			db:       d,
+			format:   format,
 			lastTick: -1,
 			rng:      root.Split(uint64(d)),
 			vec:      make([]float64, cfg.KPIs),
@@ -465,6 +492,7 @@ func (s *Scraper) fetch(ctx context.Context, t *targetState) error {
 	if err != nil {
 		return err
 	}
+	req.Header.Set("Accept", t.format.accept())
 	resp, err := s.client.Do(req)
 	if err != nil {
 		return err
@@ -478,7 +506,7 @@ func (s *Scraper) fetch(ctx context.Context, t *targetState) error {
 	if err != nil {
 		return fmt.Errorf("scrape: reading %s: %w", t.url, err)
 	}
-	if err := parsePayload(t.body, &t.payload); err != nil {
+	if err = ParseBody(t.body, &t.payload, t.format); err != nil {
 		return err
 	}
 	if t.payload.DB != t.db {
@@ -506,6 +534,7 @@ func (s *Scraper) Health() Health {
 		h.Targets[i] = TargetHealth{
 			URL:                 t.url,
 			DB:                  t.db,
+			Format:              t.format.String(),
 			Breaker:             t.state.String(),
 			ConsecutiveFailures: t.consecFails,
 			Scrapes:             t.scrapes,

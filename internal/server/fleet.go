@@ -32,6 +32,8 @@ type Fleet struct {
 
 	mu          sync.Mutex
 	persistence func() interface{}
+	scrape      func() interface{}
+	replication func() interface{}
 	incidents   *incident.Aggregator
 	reqTimeout  time.Duration
 	panics      atomic.Int64
@@ -51,6 +53,24 @@ func (f *Fleet) SetPersistence(fn func() interface{}) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.persistence = fn
+}
+
+// SetScrape attaches a provider embedded as the "scrape" block of
+// /api/fleet/status (e.g. every unit's scraper health in fleet scrape
+// ingestion mode).
+func (f *Fleet) SetScrape(fn func() interface{}) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.scrape = fn
+}
+
+// SetReplication attaches a provider embedded as the "replication" block
+// of /api/fleet/status (e.g. replicate.Server.StatusBlock: the fleet WAL's
+// served extent plus every tracked standby's lag).
+func (f *Fleet) SetReplication(fn func() interface{}) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.replication = fn
 }
 
 // SetIncidents attaches the incident aggregator: it backs GET
@@ -206,6 +226,8 @@ func (f *Fleet) handleStatus(w http.ResponseWriter, r *http.Request) {
 
 	f.mu.Lock()
 	persistence := f.persistence
+	scrapeFn := f.scrape
+	replication := f.replication
 	incidents := f.incidents
 	timeout := f.reqTimeout
 	f.mu.Unlock()
@@ -223,6 +245,12 @@ func (f *Fleet) handleStatus(w http.ResponseWriter, r *http.Request) {
 	}
 	if persistence != nil {
 		body["persistence"] = persistence()
+	}
+	if scrapeFn != nil {
+		body["scrape"] = scrapeFn()
+	}
+	if replication != nil {
+		body["replication"] = replication()
 	}
 	if incidents != nil {
 		body["incidents"] = incidents.Status()

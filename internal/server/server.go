@@ -46,6 +46,10 @@ type Server struct {
 	// scrape, when set, contributes the network-collection health block to
 	// /api/status (e.g. scrape.Scraper.Health via SetScrape).
 	scrape func() interface{}
+	// replication, when set, contributes the primary's replication block to
+	// /api/status (e.g. replicate.Server.StatusBlock): log extent plus
+	// every tracked follower's lag.
+	replication func() interface{}
 	// fb, when set, backs the /api/feedback DBA-marking endpoint.
 	fb *feedback.Store
 	// relearnStatus and relearnTrigger, when set, back /api/relearn and
@@ -95,6 +99,15 @@ func (s *Server) SetScrape(fn func() interface{}) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.scrape = fn
+}
+
+// SetReplication attaches a provider embedded as the "replication" block
+// of /api/status (e.g. replicate.Server.StatusBlock wrapped in a closure).
+func (s *Server) SetReplication(fn func() interface{}) {
+	s.gen.Add(1)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.replication = fn
 }
 
 // SetRequestTimeout overrides the per-request bound applied by Handler
@@ -336,6 +349,9 @@ func (s *Server) statusDocument() ([]byte, string) {
 	}
 	if s.scrape != nil {
 		body["scrape"] = s.scrape()
+	}
+	if s.replication != nil {
+		body["replication"] = s.replication()
 	}
 	if s.relearnStatus != nil {
 		body["relearn"] = s.relearnStatus()
